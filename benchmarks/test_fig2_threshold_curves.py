@@ -1,0 +1,65 @@
+"""E3 — paper Figure 2: accuracy versus decision threshold on both datasets.
+
+Sweeps the decision threshold for every fitted method and verifies the shape
+the paper reports: LTM is stable across the whole 0.2-0.9 range, the
+conservative methods (HubAuthority/AvgLog/PooledInvestment) only peak at very
+low thresholds, and the optimistic methods (TruthFinder/Investment/LTMpos)
+stay degenerate even at high thresholds.
+"""
+
+import numpy as np
+
+from conftest import write_result
+
+from repro.evaluation.threshold import threshold_sweep
+
+THRESHOLDS = [round(t, 2) for t in np.linspace(0.05, 0.95, 19)]
+
+
+def _curves(table, dataset):
+    curves = {}
+    for evaluation in table.evaluations:
+        if evaluation.method_name == "LTMinc" or evaluation.result is None:
+            continue
+        sweep = threshold_sweep(evaluation.result, dataset.labels, thresholds=THRESHOLDS)
+        curves[evaluation.method_name] = {t: m.accuracy for t, m in sweep.items()}
+    return curves
+
+
+def _render(name, curves) -> str:
+    lines = [f"Figure 2 (reproduced) — accuracy vs threshold, dataset: {name}", ""]
+    header = "threshold  " + "  ".join(f"{m:>12s}" for m in curves)
+    lines.append(header)
+    for t in THRESHOLDS:
+        row = f"{t:>9.2f}  " + "  ".join(f"{curves[m][t]:>12.3f}" for m in curves)
+        lines.append(row)
+    return "\n".join(lines) + "\n"
+
+
+def test_fig2_threshold_stability(benchmark, book_dataset, movie_dataset,
+                                  book_comparison, movie_comparison, results_dir):
+    book_curves = benchmark.pedantic(
+        lambda: _curves(book_comparison, book_dataset), rounds=1, iterations=1
+    )
+    movie_curves = _curves(movie_comparison, movie_dataset)
+
+    for curves in (book_curves, movie_curves):
+        # LTM is stable: its accuracy varies little between thresholds 0.2 and 0.8.
+        ltm = [curves["LTM"][t] for t in THRESHOLDS if 0.2 <= t <= 0.8]
+        assert max(ltm) - min(ltm) < 0.15
+        # Conservative methods lose accuracy as the threshold rises past 0.5.
+        for method in ("AvgLog", "PooledInvestment"):
+            assert curves[method][0.1] >= curves[method][0.75] - 1e-9
+        # Optimistic methods do not recover even at a 0.9 threshold.
+        book_best_ltm = max(curves["LTM"].values())
+        assert curves["TruthFinder"][0.9] <= book_best_ltm + 1e-9
+
+    # LTM at 0.5 is at least close to its own optimum (within 5 accuracy points).
+    for curves in (book_curves, movie_curves):
+        assert curves["LTM"][0.5] >= max(curves["LTM"].values()) - 0.05
+
+    text = _render(book_comparison.dataset_name, book_curves) + "\n" + _render(
+        movie_comparison.dataset_name, movie_curves
+    )
+    write_result(results_dir, "fig2_threshold_curves.txt", text)
+    print("\n" + text)

@@ -1,0 +1,42 @@
+"""E4 — paper Figure 3: area under the ROC curve per method per dataset.
+
+Computes each fitted method's AUC over the labelled facts of both datasets
+and checks the paper's finding that LTM's ranking quality is at or near the
+top on both datasets (several methods get close to 1.0 on the easier book
+data; the gap shows up on the harder movie data).
+"""
+
+from conftest import write_result
+
+
+def _render(table) -> str:
+    lines = [f"Figure 3 (reproduced) — AUC per method, dataset: {table.dataset_name}", ""]
+    for name, auc in table.ranked_by("auc"):
+        lines.append(f"  {name:<18s} {auc:.3f}")
+    return "\n".join(lines) + "\n"
+
+
+def test_fig3_auc_per_method(benchmark, book_comparison, movie_comparison, results_dir):
+    def collect():
+        return {
+            "book": dict(book_comparison.ranked_by("auc")),
+            "movie": dict(movie_comparison.ranked_by("auc")),
+        }
+
+    aucs = benchmark.pedantic(collect, rounds=5, iterations=1)
+
+    # LTM is within a hair of the best AUC on the book data and at the top on the movie data.
+    book = aucs["book"]
+    movie = aucs["movie"]
+    assert book["LTM"] > 0.95
+    assert movie["LTM"] >= max(v for k, v in movie.items() if k not in {"LTM", "LTMinc"}) - 0.02
+    # The positive-claims-only ablation ranks clearly worse than full LTM on both datasets.
+    assert book["LTM"] > book["LTMpos"]
+    assert movie["LTM"] > movie["LTMpos"]
+
+    text = _render(book_comparison) + "\n" + _render(movie_comparison)
+    write_result(results_dir, "fig3_auc.txt", text)
+    print("\n" + text)
+
+    benchmark.extra_info.update({f"book_auc_{k}": v for k, v in book.items()})
+    benchmark.extra_info.update({f"movie_auc_{k}": v for k, v in movie.items()})

@@ -1,0 +1,59 @@
+"""E6 — paper Figure 5: convergence of LTM on the movie data.
+
+Repeats LTM fits with increasing iteration budgets (using the paper's burn-in
+and thinning schedule for each budget), recording accuracy mean and 95%
+confidence interval over the repeats.  The paper's findings to reproduce:
+accuracy is already reasonable after a handful of iterations, reaches its
+plateau by roughly 50 iterations, and additional iterations neither help nor
+hurt (variance shrinks).
+"""
+
+from conftest import SEED, write_result
+
+from repro.core.diagnostics import mean_and_confidence_interval
+from repro.core.model import LatentTruthModel
+from repro.evaluation.metrics import evaluate_scores
+
+BUDGETS = (7, 10, 20, 50, 100, 200)
+REPEATS = 5
+
+
+def test_fig5_convergence(benchmark, movie_dataset, results_dir):
+    claims = movie_dataset.claims
+    labels = movie_dataset.labels
+
+    def accuracy_at(iterations: int, repeat: int) -> float:
+        model = LatentTruthModel(iterations=iterations, seed=SEED + repeat)
+        return evaluate_scores(model.fit(claims), labels).accuracy
+
+    def run_study():
+        study = {}
+        for budget in BUDGETS:
+            accuracies = [accuracy_at(budget, r) for r in range(REPEATS)]
+            study[budget] = mean_and_confidence_interval(accuracies)
+        return study
+
+    study = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    means = {budget: mean for budget, (mean, _, _) in study.items()}
+    # Even 7 iterations gives usable accuracy.
+    assert means[7] > 0.8
+    # By 50 iterations accuracy has reached its plateau (within one point of the best).
+    best = max(means.values())
+    assert means[50] >= best - 0.02
+    assert means[200] >= best - 0.02
+    # Confidence intervals shrink (or at least do not grow) as iterations increase.
+    width_small = study[7][2] - study[7][1]
+    width_large = study[200][2] - study[200][1]
+    assert width_large <= width_small + 0.02
+
+    lines = ["Figure 5 (reproduced) — convergence of LTM on the movie data "
+             f"({REPEATS} repeats, 95% CI)", ""]
+    lines.append(f"{'iterations':>12} {'mean accuracy':>15} {'CI low':>10} {'CI high':>10}")
+    for budget, (mean, low, high) in study.items():
+        lines.append(f"{budget:>12d} {mean:>15.3f} {low:>10.3f} {high:>10.3f}")
+    text = "\n".join(lines) + "\n"
+    write_result(results_dir, "fig5_convergence.txt", text)
+    print("\n" + text)
+
+    benchmark.extra_info["mean_accuracy_by_budget"] = means

@@ -1,0 +1,71 @@
+"""E1 — paper Table 6: source-quality measures of the worked example.
+
+Recomputes the confusion matrices and derived measures of the three movie
+sources in the paper's running example (Tables 1-5) and checks they match the
+values printed in Table 6 exactly.
+"""
+
+import pytest
+
+from repro.data.claim_builder import build_dataset
+from repro.evaluation.confusion import source_confusion_matrices
+
+PAPER_EXAMPLE = [
+    ("Harry Potter", "Daniel Radcliffe", "IMDB"),
+    ("Harry Potter", "Emma Watson", "IMDB"),
+    ("Harry Potter", "Rupert Grint", "IMDB"),
+    ("Harry Potter", "Daniel Radcliffe", "Netflix"),
+    ("Harry Potter", "Daniel Radcliffe", "BadSource.com"),
+    ("Harry Potter", "Emma Watson", "BadSource.com"),
+    ("Harry Potter", "Johnny Depp", "BadSource.com"),
+    ("Pirates 4", "Johnny Depp", "Hulu.com"),
+]
+PAPER_TRUTH = {
+    ("Harry Potter", "Daniel Radcliffe"): True,
+    ("Harry Potter", "Emma Watson"): True,
+    ("Harry Potter", "Rupert Grint"): True,
+    ("Harry Potter", "Johnny Depp"): False,
+    ("Pirates 4", "Johnny Depp"): True,
+}
+
+# Table 6 of the paper: measure -> (IMDB, Netflix, BadSource.com).
+PAPER_TABLE6 = {
+    "TP": (3, 1, 2),
+    "FP": (0, 0, 1),
+    "FN": (0, 2, 1),
+    "TN": (1, 1, 0),
+    "precision": (1.0, 1.0, 2 / 3),
+    "accuracy": (1.0, 0.5, 0.5),
+    "sensitivity": (1.0, 1 / 3, 2 / 3),
+    "specificity": (1.0, 1.0, 0.0),
+}
+
+
+def _compute_table6():
+    dataset = build_dataset(PAPER_EXAMPLE, truth=PAPER_TRUTH, name="paper-example")
+    return source_confusion_matrices(dataset.claims, dataset.labels)
+
+
+def test_table6_example_source_quality(benchmark, results_dir):
+    matrices = benchmark.pedantic(_compute_table6, rounds=5, iterations=1)
+
+    lines = ["Table 6 (reproduced) — quality of sources in the worked example", ""]
+    header = f"{'Measure':<12}{'IMDB':>10}{'Netflix':>10}{'BadSource':>12}"
+    lines.append(header)
+    for measure, expected in PAPER_TABLE6.items():
+        observed = tuple(
+            getattr(matrices[name], {
+                "TP": "true_positives", "FP": "false_positives",
+                "FN": "false_negatives", "TN": "true_negatives",
+            }.get(measure, measure))
+            for name in ("IMDB", "Netflix", "BadSource.com")
+        )
+        lines.append(f"{measure:<12}{observed[0]:>10.3f}{observed[1]:>10.3f}{observed[2]:>12.3f}")
+        for obs, exp in zip(observed, expected):
+            assert obs == pytest.approx(exp), f"{measure} mismatch: {observed} vs {expected}"
+
+    text = "\n".join(lines) + "\n"
+    from conftest import write_result
+
+    write_result(results_dir, "table6_example_quality.txt", text)
+    print("\n" + text)

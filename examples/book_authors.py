@@ -1,0 +1,60 @@
+"""Book-author integration: the paper's first evaluation scenario, simulated.
+
+Generates a simulated abebooks.com-style crawl (many sellers listing only the
+first author, a few noisy sellers inventing authors), runs the full method
+comparison of paper Table 7 on it, and prints the per-method metrics plus the
+LTM source-quality break-down.
+
+Run with::
+
+    python examples/book_authors.py [num_books]
+"""
+
+import sys
+
+from repro import BookAuthorConfig, BookAuthorSimulator, LatentTruthModel, default_method_suite
+from repro.evaluation import compare_methods
+from repro.pipeline import format_quality_report
+
+
+def main(num_books: int = 300) -> None:
+    config = BookAuthorConfig(
+        num_books=num_books,
+        num_sellers=max(40, num_books // 3),
+        labelled_books=min(100, num_books),
+        seed=17,
+    )
+    print(f"Simulating a book-seller crawl with {config.num_books} books "
+          f"and {config.num_sellers} sellers ...")
+    dataset = BookAuthorSimulator(config).generate()
+    print("Dataset:", dataset.summary())
+
+    print("\nRunning the Table-7 method comparison (threshold 0.5) ...")
+    suite = default_method_suite(iterations=100, seed=7)
+    table = compare_methods(
+        dataset,
+        suite,
+        include_incremental=True,
+        incremental_kwargs={"iterations": 100, "seed": 7},
+    )
+    print()
+    print(table.format())
+
+    print("\nAUC per method:")
+    for name, auc in table.ranked_by("auc"):
+        print(f"  {name:18s} {auc:.3f}")
+
+    print("\nSource quality learned by LTM (top 15 sellers by sensitivity):")
+    ltm_result = table.evaluation("LTM").result
+    print(format_quality_report(ltm_result.source_quality, top=15))
+
+    print("\nWhat to look for (paper Table 7 shape):")
+    print(" * LTM / LTMinc have the best accuracy and F1;")
+    print(" * Voting has perfect precision but misses co-authors (lower recall);")
+    print(" * TruthFinder / Investment / LTMpos predict everything true (FPR ~ 1);")
+    print(" * HubAuthority / AvgLog / PooledInvestment are over-conservative.")
+
+
+if __name__ == "__main__":
+    books = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    main(books)

@@ -1,0 +1,64 @@
+"""Movie-director integration: the paper's second (harder) evaluation scenario.
+
+Simulates the Bing movie-vertical feed with the 12 sources of paper Table 8,
+keeps only conflicting records (as the paper does), fits LTM and prints the
+reproduced Table 8 — the per-source sensitivity/specificity ranking — next to
+the generating quality, plus the accuracy comparison against Voting and
+3-Estimates.
+
+Run with::
+
+    python examples/movie_directors.py [num_movies]
+"""
+
+import sys
+
+from repro import (
+    LatentTruthModel,
+    MovieDirectorConfig,
+    MovieDirectorSimulator,
+    ThreeEstimates,
+    Voting,
+)
+from repro.evaluation import evaluate_scores
+from repro.synth.movies import PAPER_MOVIE_SOURCES
+
+
+def main(num_movies: int = 1500) -> None:
+    config = MovieDirectorConfig(num_movies=num_movies, seed=29)
+    print(f"Simulating the movie feed with {config.num_movies} movies and "
+          f"{len(PAPER_MOVIE_SOURCES)} sources ...")
+    dataset = MovieDirectorSimulator(config).generate()
+    print("Dataset (after the conflicting-records filter):", dataset.summary())
+
+    print("\nFitting LTM ...")
+    ltm = LatentTruthModel(iterations=100, seed=7)
+    result = ltm.fit(dataset.claims)
+
+    print("\nReproduced Table 8 — source quality, sorted by sensitivity")
+    print(f"{'Source':<16}{'Sensitivity':>13}{'Specificity':>13}   (generating sens/spec)")
+    for name, sens, spec in result.source_quality.ranked_by_sensitivity():
+        true_sens, true_spec = PAPER_MOVIE_SOURCES.get(name, (float('nan'), float('nan')))
+        print(f"{name:<16}{sens:>13.3f}{spec:>13.3f}   ({true_sens:.2f} / {true_spec:.2f})")
+
+    print("\nAccuracy at threshold 0.5 on the labelled movies:")
+    for method, fitted in (
+        ("LTM", result),
+        ("Voting", Voting().fit(dataset.claims)),
+        ("3-Estimates", ThreeEstimates().fit(dataset.claims)),
+    ):
+        metrics = evaluate_scores(fitted, dataset.labels)
+        print(
+            f"  {method:12s} accuracy={metrics.accuracy:.3f} precision={metrics.precision:.3f} "
+            f"recall={metrics.recall:.3f} fpr={metrics.false_positive_rate:.3f}"
+        )
+
+    print(
+        "\nWith only 12 sources a single wrong feed can reach a majority, so "
+        "Voting degrades here; LTM discounts the low-specificity feeds instead."
+    )
+
+
+if __name__ == "__main__":
+    movies = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    main(movies)

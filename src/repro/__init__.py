@@ -1,0 +1,130 @@
+"""repro — Latent Truth Model truth discovery for data integration.
+
+A from-scratch Python implementation of *"A Bayesian Approach to Discovering
+Truth from Conflicting Sources for Data Integration"* (Zhao, Rubinstein,
+Gemmell & Han, VLDB 2012): the Latent Truth Model (LTM) with collapsed Gibbs
+inference and two-sided source quality, its incremental variant (LTMinc), the
+seven baselines the paper compares against, the claim-construction data model,
+dataset simulators, a streaming integration engine and a full evaluation
+harness.
+
+Quickstart
+----------
+>>> from repro import LatentTruthModel, build_claim_matrix
+>>> claims = build_claim_matrix([
+...     ("Harry Potter", "Daniel Radcliffe", "imdb"),
+...     ("Harry Potter", "Emma Watson", "imdb"),
+...     ("Harry Potter", "Rupert Grint", "imdb"),
+...     ("Harry Potter", "Daniel Radcliffe", "netflix"),
+...     ("Harry Potter", "Daniel Radcliffe", "badsource.com"),
+...     ("Harry Potter", "Emma Watson", "badsource.com"),
+...     ("Harry Potter", "Johnny Depp", "badsource.com"),
+... ])
+>>> result = LatentTruthModel(iterations=100, seed=0).fit(claims)
+>>> result.scores.shape[0] == claims.num_facts
+True
+"""
+
+from repro.types import Triple
+from repro.data import (
+    ClaimMatrix,
+    RawDatabase,
+    TruthDataset,
+    build_claim_matrix,
+    load_dataset_json,
+    load_triples_csv,
+    save_dataset_json,
+    save_triples_csv,
+)
+from repro.data.claim_builder import ClaimTableBuilder, build_dataset
+from repro.core import (
+    IncrementalLTM,
+    LatentTruthModel,
+    LTMPriors,
+    BetaPrior,
+    PositiveOnlyLTM,
+    SourceQualityTable,
+    TruthMethod,
+    TruthResult,
+)
+from repro.baselines import (
+    AvgLog,
+    HubAuthority,
+    Investment,
+    PooledInvestment,
+    ThreeEstimates,
+    TruthFinder,
+    Voting,
+    default_method_suite,
+)
+from repro.evaluation import (
+    ComparisonTable,
+    EvaluationMetrics,
+    compare_methods,
+    evaluate_scores,
+    auc_score,
+)
+from repro.synth import (
+    BookAuthorConfig,
+    BookAuthorSimulator,
+    LTMGenerativeConfig,
+    MovieDirectorConfig,
+    MovieDirectorSimulator,
+    generate_ltm_dataset,
+)
+from repro.streaming import ClaimStream, OnlineTruthFinder
+from repro.pipeline import IntegrationPipeline, IntegrationResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # data model
+    "Triple",
+    "RawDatabase",
+    "ClaimMatrix",
+    "TruthDataset",
+    "ClaimTableBuilder",
+    "build_claim_matrix",
+    "build_dataset",
+    "load_triples_csv",
+    "save_triples_csv",
+    "load_dataset_json",
+    "save_dataset_json",
+    # core model
+    "LatentTruthModel",
+    "IncrementalLTM",
+    "PositiveOnlyLTM",
+    "LTMPriors",
+    "BetaPrior",
+    "TruthMethod",
+    "TruthResult",
+    "SourceQualityTable",
+    # baselines
+    "Voting",
+    "TruthFinder",
+    "HubAuthority",
+    "AvgLog",
+    "Investment",
+    "PooledInvestment",
+    "ThreeEstimates",
+    "default_method_suite",
+    # evaluation
+    "EvaluationMetrics",
+    "ComparisonTable",
+    "compare_methods",
+    "evaluate_scores",
+    "auc_score",
+    # datasets
+    "LTMGenerativeConfig",
+    "generate_ltm_dataset",
+    "BookAuthorConfig",
+    "BookAuthorSimulator",
+    "MovieDirectorConfig",
+    "MovieDirectorSimulator",
+    # streaming / pipeline
+    "ClaimStream",
+    "OnlineTruthFinder",
+    "IntegrationPipeline",
+    "IntegrationResult",
+]

@@ -1,0 +1,42 @@
+"""Baseline truth-finding methods the paper compares against (Section 6.2).
+
+All baselines implement the same :class:`~repro.core.base.TruthMethod`
+interface as LTM, so the comparison harness can run any mix of methods.
+
+* :class:`Voting` — fraction of a fact's claims that are positive.
+* :class:`TruthFinder` — Yin et al. (KDD 2007): iterative source
+  trustworthiness / fact confidence over positive claims.
+* :class:`HubAuthority` — Kleinberg's HITS on the bipartite source-fact graph
+  of positive claims.
+* :class:`AvgLog` — Pasternack & Roth (COLING 2010) variation of HITS with a
+  log-scaled claim-count weighting.
+* :class:`Investment` — sources invest credit uniformly in their positive
+  claims and are repaid proportionally (non-linear growth ``G(x) = x**1.2``).
+* :class:`PooledInvestment` — Investment with per-entity pooling
+  (``G(x) = x**1.4``).
+* :class:`ThreeEstimates` — Galland et al. (WSDM 2010): jointly estimates fact
+  truth, source error and fact difficulty using both positive and negative
+  claims.
+"""
+
+from repro.baselines.voting import Voting
+from repro.baselines.truthfinder import TruthFinder
+from repro.baselines.hubauthority import HubAuthority
+from repro.baselines.avglog import AvgLog
+from repro.baselines.investment import Investment
+from repro.baselines.pooled_investment import PooledInvestment
+from repro.baselines.three_estimates import ThreeEstimates
+from repro.baselines.registry import all_methods, default_method_suite, get_method
+
+__all__ = [
+    "Voting",
+    "TruthFinder",
+    "HubAuthority",
+    "AvgLog",
+    "Investment",
+    "PooledInvestment",
+    "ThreeEstimates",
+    "all_methods",
+    "default_method_suite",
+    "get_method",
+]

@@ -1,0 +1,98 @@
+"""Shared bipartite-graph plumbing for the positive-claim baselines.
+
+TruthFinder, HubAuthority, AvgLog, Investment and PooledInvestment all operate
+on the bipartite graph linking sources to the facts they claim *positively*.
+This module extracts that graph once from a :class:`~repro.data.dataset.ClaimMatrix`
+in a flat CSR-like form that the iterative updates can consume efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import ClaimMatrix
+
+__all__ = ["PositiveClaimGraph"]
+
+
+@dataclass
+class PositiveClaimGraph:
+    """The source-fact bipartite graph induced by positive claims.
+
+    Attributes
+    ----------
+    num_facts, num_sources:
+        Sizes of the two node sets (facts with no positive claims are kept,
+        they simply have no incident edges).
+    edge_fact, edge_source:
+        Parallel arrays, one entry per positive claim.
+    fact_degree, source_degree:
+        Number of incident edges per fact / source (``|S_f|`` and ``|F_s|``).
+    entity_groups:
+        List of arrays of fact ids sharing an entity; used by baselines that
+        normalise within an entity's candidate set (PooledInvestment).
+    """
+
+    num_facts: int
+    num_sources: int
+    edge_fact: np.ndarray
+    edge_source: np.ndarray
+    fact_degree: np.ndarray
+    source_degree: np.ndarray
+    entity_groups: list[np.ndarray]
+
+    @classmethod
+    def from_claims(cls, claims: ClaimMatrix) -> "PositiveClaimGraph":
+        """Extract the positive-claim graph from a claim matrix."""
+        mask = claims.claim_obs == 1
+        edge_fact = claims.claim_fact[mask]
+        edge_source = claims.claim_source[mask]
+        fact_degree = np.bincount(edge_fact, minlength=claims.num_facts).astype(float)
+        source_degree = np.bincount(edge_source, minlength=claims.num_sources).astype(float)
+        entity_groups = [
+            np.asarray(fact_ids, dtype=np.int64)
+            for fact_ids in claims.entity_groups.values()
+        ]
+        return cls(
+            num_facts=claims.num_facts,
+            num_sources=claims.num_sources,
+            edge_fact=edge_fact,
+            edge_source=edge_source,
+            fact_degree=fact_degree,
+            source_degree=source_degree,
+            entity_groups=entity_groups,
+        )
+
+    # -- message passing helpers ----------------------------------------------------
+    def facts_from_sources(self, source_values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+        """Sum source values into facts along edges (optionally edge-weighted)."""
+        contributions = source_values[self.edge_source]
+        if weights is not None:
+            contributions = contributions * weights
+        out = np.zeros(self.num_facts, dtype=float)
+        np.add.at(out, self.edge_fact, contributions)
+        return out
+
+    def sources_from_facts(self, fact_values: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+        """Sum fact values into sources along edges (optionally edge-weighted)."""
+        contributions = fact_values[self.edge_fact]
+        if weights is not None:
+            contributions = contributions * weights
+        out = np.zeros(self.num_sources, dtype=float)
+        np.add.at(out, self.edge_source, contributions)
+        return out
+
+    @property
+    def num_edges(self) -> int:
+        """Number of positive claims (edges)."""
+        return int(self.edge_fact.shape[0])
+
+    def safe_source_degree(self) -> np.ndarray:
+        """Source degrees with zeros replaced by one (avoids division by zero)."""
+        return np.where(self.source_degree > 0, self.source_degree, 1.0)
+
+    def safe_fact_degree(self) -> np.ndarray:
+        """Fact degrees with zeros replaced by one (avoids division by zero)."""
+        return np.where(self.fact_degree > 0, self.fact_degree, 1.0)

@@ -1,0 +1,71 @@
+"""AvgLog (Pasternack & Roth, COLING 2010) — a HITS variation.
+
+The update dampens the influence of prolific sources: a source's
+trustworthiness is the *average* belief of its claims scaled by the log of
+how many claims it makes,
+
+``T(s) = log(|F_s|) * (sum of B(f) for f claimed by s) / |F_s|``
+
+and a fact's belief is the sum of its claimants' trustworthiness,
+``B(f) = sum of T(s)``.  Scores are normalised by the maximum each round and
+at the end, which (as in the paper's experiments) leaves most facts well
+below the 0.5 threshold — AvgLog is the most conservative method in Table 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._graph import PositiveClaimGraph
+from repro.core.base import TruthMethod, TruthResult, normalise_scores
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AvgLog"]
+
+
+class AvgLog(TruthMethod):
+    """Average-log trustworthiness propagation over positive claims.
+
+    Parameters
+    ----------
+    iterations:
+        Number of alternating updates (the original paper uses a small fixed
+        number; 20 by default).
+    """
+
+    name = "AvgLog"
+
+    def __init__(self, iterations: int = 20):
+        super().__init__()
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        self.iterations = iterations
+
+    def _fit(self, claims: ClaimMatrix) -> TruthResult:
+        graph = PositiveClaimGraph.from_claims(claims)
+        # Initial belief: the voting proportion, as in Pasternack & Roth.
+        positives = claims.positive_counts_per_fact().astype(float)
+        totals = np.maximum(claims.claim_counts_per_fact().astype(float), 1.0)
+        belief = positives / totals
+
+        degree = graph.safe_source_degree()
+        log_degree = np.log(np.maximum(graph.source_degree, 1.0) + 1.0)
+        trust = np.zeros(graph.num_sources, dtype=float)
+
+        for _ in range(self.iterations):
+            sums = graph.sources_from_facts(belief)
+            trust = log_degree * sums / degree
+            max_trust = trust.max()
+            if max_trust > 0:
+                trust = trust / max_trust
+            belief = graph.facts_from_sources(trust)
+            max_belief = belief.max()
+            if max_belief > 0:
+                belief = belief / max_belief
+
+        return TruthResult(
+            method=self.name,
+            scores=normalise_scores(belief),
+            extras={"trustworthiness": trust, "iterations": self.iterations},
+        )

@@ -1,0 +1,97 @@
+"""Investment (Pasternack & Roth, COLING 2010).
+
+Each source uniformly *invests* its trustworthiness across the facts it claims
+positively; a fact's credit is the invested total grown by the super-linear
+function ``G(x) = x**g`` (g = 1.2), and sources are repaid in proportion to
+their share of each fact's investment — so sources that back winning facts
+grow richer and amplify those facts further.
+
+Pasternack & Roth's evaluation picks the highest-credit candidate within a
+*mutual-exclusion set* of answers.  With a multi-valued attribute type there
+is no mutual exclusion between a fact and any other candidate: the only
+candidate in a fact's exclusion set is the fact itself, so every fact with at
+least one positive claim is accepted.  The paper observes exactly this
+behaviour — Investment "consistently thinks everything is true" with a
+false-positive rate of 1.0 (Table 7).  We therefore report scores in
+``[0.5, 1]`` for asserted facts (ranked by their final credit, so ROC/AUC
+analysis remains meaningful) and 0 for facts with no positive claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._graph import PositiveClaimGraph
+from repro.core.base import TruthMethod, TruthResult
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Investment"]
+
+
+class Investment(TruthMethod):
+    """Credit-investment truth finder over positive claims.
+
+    Parameters
+    ----------
+    iterations:
+        Number of invest/repay rounds.
+    growth:
+        Exponent ``g`` of the credit growth function ``G(x) = x**g``
+        (1.2 as recommended by the original authors).
+    """
+
+    name = "Investment"
+
+    def __init__(self, iterations: int = 20, growth: float = 1.2):
+        super().__init__()
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if growth <= 0:
+            raise ConfigurationError("growth must be positive")
+        self.iterations = iterations
+        self.growth = growth
+
+    def _fit(self, claims: ClaimMatrix) -> TruthResult:
+        graph = PositiveClaimGraph.from_claims(claims)
+        trust = np.ones(graph.num_sources, dtype=float)
+        credit = np.zeros(graph.num_facts, dtype=float)
+        degree = graph.safe_source_degree()
+
+        for _ in range(self.iterations):
+            # Each source invests trust / |F_s| in each of its claims.
+            per_claim_investment = trust / degree
+            invested = graph.facts_from_sources(per_claim_investment)
+            credit = np.power(np.maximum(invested, 0.0), self.growth)
+
+            # Sources are repaid proportionally to their share of each fact's
+            # investment pool.
+            edge_investment = per_claim_investment[graph.edge_source]
+            pool = np.maximum(invested[graph.edge_fact], 1e-12)
+            edge_share = edge_investment / pool
+            repayments = credit[graph.edge_fact] * edge_share
+            trust = np.zeros(graph.num_sources, dtype=float)
+            np.add.at(trust, graph.edge_source, repayments)
+            max_trust = trust.max()
+            if max_trust > 0:
+                trust = trust / max_trust
+            else:  # no positive claims at all
+                trust = np.ones(graph.num_sources, dtype=float)
+
+        scores = self._decision_scores(credit, graph)
+        return TruthResult(
+            method=self.name,
+            scores=scores,
+            extras={"credit": credit, "trustworthiness": trust, "iterations": self.iterations},
+        )
+
+    def _decision_scores(self, credit: np.ndarray, graph: PositiveClaimGraph) -> np.ndarray:
+        """Map raw credits to scores: asserted facts >= 0.5, ranked by credit."""
+        asserted = graph.fact_degree > 0
+        max_credit = credit.max() if credit.size else 0.0
+        if max_credit <= 0:
+            ranked = np.zeros_like(credit)
+        else:
+            ranked = credit / max_credit
+        scores = np.where(asserted, 0.5 + 0.5 * ranked, 0.0)
+        return np.clip(scores, 0.0, 1.0)

@@ -1,0 +1,89 @@
+"""PooledInvestment (Pasternack & Roth, IJCAI 2011).
+
+Like :class:`~repro.baselines.investment.Investment`, sources invest their
+trustworthiness uniformly across their positive claims, but the grown credit
+is *pooled within each entity's candidate facts*:
+
+``B(f) = H(f) * G(H(f)) / sum over f' of the same entity of G(H(f'))``
+
+where ``H(f)`` is the invested total and ``G(x) = x**g`` with g = 1.4.  The
+pooling makes the strongest candidate of each entity absorb most of the
+credit, so the globally-normalised scores of everything else are small — the
+over-conservative behaviour (perfect precision, very low recall at a 0.5
+threshold) the paper reports for PooledInvestment in Table 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._graph import PositiveClaimGraph
+from repro.core.base import TruthMethod, TruthResult, normalise_scores
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PooledInvestment"]
+
+
+class PooledInvestment(TruthMethod):
+    """Investment with per-entity pooling of grown credit.
+
+    Parameters
+    ----------
+    iterations:
+        Number of invest/pool/repay rounds.
+    growth:
+        Exponent of the pooling growth function ``G(x) = x**g`` (1.4 as
+        recommended by the original authors).
+    """
+
+    name = "PooledInvestment"
+
+    def __init__(self, iterations: int = 20, growth: float = 1.4):
+        super().__init__()
+        if iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if growth <= 0:
+            raise ConfigurationError("growth must be positive")
+        self.iterations = iterations
+        self.growth = growth
+
+    def _fit(self, claims: ClaimMatrix) -> TruthResult:
+        graph = PositiveClaimGraph.from_claims(claims)
+        trust = np.ones(graph.num_sources, dtype=float)
+        belief = np.zeros(graph.num_facts, dtype=float)
+        degree = graph.safe_source_degree()
+
+        for _ in range(self.iterations):
+            per_claim_investment = trust / degree
+            invested = graph.facts_from_sources(per_claim_investment)
+            belief = self._pool(invested, graph)
+
+            edge_investment = per_claim_investment[graph.edge_source]
+            pool_total = np.maximum(invested[graph.edge_fact], 1e-12)
+            edge_share = edge_investment / pool_total
+            repayments = belief[graph.edge_fact] * edge_share
+            trust = np.zeros(graph.num_sources, dtype=float)
+            np.add.at(trust, graph.edge_source, repayments)
+            max_trust = trust.max()
+            if max_trust > 0:
+                trust = trust / max_trust
+            else:
+                trust = np.ones(graph.num_sources, dtype=float)
+
+        return TruthResult(
+            method=self.name,
+            scores=normalise_scores(belief),
+            extras={"trustworthiness": trust, "iterations": self.iterations},
+        )
+
+    def _pool(self, invested: np.ndarray, graph: PositiveClaimGraph) -> np.ndarray:
+        """Pool grown credit within each entity's candidate facts."""
+        grown = np.power(np.maximum(invested, 0.0), self.growth)
+        belief = np.zeros_like(invested)
+        for group in graph.entity_groups:
+            total = grown[group].sum()
+            if total <= 0:
+                continue
+            belief[group] = invested[group] * grown[group] / total
+        return belief

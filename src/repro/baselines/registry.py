@@ -1,0 +1,102 @@
+"""A registry of every truth-finding method, used by the comparison harness.
+
+The paper's Table 7 / Figures 2-3 compare ten methods: LTM, LTMinc, LTMpos,
+the seven baselines and Voting.  :func:`default_method_suite` builds fresh,
+consistently-configured instances of the nine methods that can be fitted
+directly on a claim matrix (LTMinc needs a previously learned quality table
+and is constructed separately by the evaluation protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.baselines.avglog import AvgLog
+from repro.baselines.hubauthority import HubAuthority
+from repro.baselines.investment import Investment
+from repro.baselines.pooled_investment import PooledInvestment
+from repro.baselines.three_estimates import ThreeEstimates
+from repro.baselines.truthfinder import TruthFinder
+from repro.baselines.voting import Voting
+from repro.core.base import TruthMethod
+from repro.core.ltmpos import PositiveOnlyLTM
+from repro.core.model import LatentTruthModel
+from repro.core.priors import LTMPriors
+from repro.exceptions import ConfigurationError
+
+__all__ = ["all_methods", "default_method_suite", "get_method"]
+
+_FACTORIES: dict[str, Callable[..., TruthMethod]] = {
+    "LTM": LatentTruthModel,
+    "LTMpos": PositiveOnlyLTM,
+    "Voting": Voting,
+    "TruthFinder": TruthFinder,
+    "HubAuthority": HubAuthority,
+    "AvgLog": AvgLog,
+    "Investment": Investment,
+    "PooledInvestment": PooledInvestment,
+    "3-Estimates": ThreeEstimates,
+}
+
+
+def all_methods() -> list[str]:
+    """Names of every registered method."""
+    return list(_FACTORIES)
+
+
+def get_method(name: str, **kwargs) -> TruthMethod:
+    """Instantiate the method registered under ``name`` with ``kwargs``."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown method {name!r}; registered methods: {sorted(_FACTORIES)}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def default_method_suite(
+    priors: LTMPriors | None = None,
+    iterations: int = 100,
+    seed: int | None = 7,
+    include: Mapping[str, bool] | None = None,
+) -> list[TruthMethod]:
+    """Build the standard comparison suite (every method except LTMinc).
+
+    Parameters
+    ----------
+    priors:
+        Priors used by LTM and LTMpos (defaults to the library defaults).
+    iterations:
+        Gibbs iterations for LTM and LTMpos.
+    seed:
+        Random seed shared by the sampling-based methods.
+    include:
+        Optional mapping of method name to a Boolean; methods mapped to
+        ``False`` are skipped.
+    """
+    include = dict(include or {})
+
+    def wanted(name: str) -> bool:
+        return include.get(name, True)
+
+    suite: list[TruthMethod] = []
+    if wanted("LTM"):
+        suite.append(LatentTruthModel(priors=priors, iterations=iterations, seed=seed))
+    if wanted("3-Estimates"):
+        suite.append(ThreeEstimates())
+    if wanted("Voting"):
+        suite.append(Voting())
+    if wanted("TruthFinder"):
+        suite.append(TruthFinder())
+    if wanted("Investment"):
+        suite.append(Investment())
+    if wanted("LTMpos"):
+        suite.append(PositiveOnlyLTM(priors=priors, iterations=iterations, seed=seed))
+    if wanted("HubAuthority"):
+        suite.append(HubAuthority())
+    if wanted("AvgLog"):
+        suite.append(AvgLog())
+    if wanted("PooledInvestment"):
+        suite.append(PooledInvestment())
+    return suite

@@ -1,0 +1,107 @@
+"""TruthFinder (Yin, Han & Yu, KDD 2007).
+
+TruthFinder iterates between source trustworthiness and fact confidence over
+the *positive* claims only:
+
+* a source's trustworthiness is the average confidence of the facts it
+  asserts;
+* a fact's confidence is (a dampened version of) the probability that at
+  least one of its asserting sources is correct,
+  ``1 - prod_s (1 - t(s))``, computed in log space via the trustworthiness
+  score ``tau(s) = -ln(1 - t(s))`` and squashed with a logistic of gain
+  ``gamma``.
+
+Because it only looks at positive claims and scores a fact highly as soon as
+one reasonably trusted source asserts it, on multi-truth data it tends to
+assign nearly every candidate fact a high confidence — the behaviour the
+paper reports as a 1.0 false-positive rate in Table 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines._graph import PositiveClaimGraph
+from repro.core.base import TruthMethod, TruthResult
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TruthFinder"]
+
+
+class TruthFinder(TruthMethod):
+    """Iterative trustworthiness / confidence propagation over positive claims.
+
+    Parameters
+    ----------
+    initial_trust:
+        Initial trustworthiness of every source (paper default 0.9).
+    gamma:
+        Dampening gain of the logistic adjustment (paper default 0.3).
+    max_iterations:
+        Maximum number of alternating updates.
+    tolerance:
+        Convergence threshold on the cosine distance between successive
+        source-trustworthiness vectors.
+    """
+
+    name = "TruthFinder"
+
+    def __init__(
+        self,
+        initial_trust: float = 0.9,
+        gamma: float = 0.3,
+        max_iterations: int = 100,
+        tolerance: float = 1e-6,
+    ):
+        super().__init__()
+        if not 0.0 < initial_trust < 1.0:
+            raise ConfigurationError("initial_trust must lie in (0, 1)")
+        if gamma <= 0:
+            raise ConfigurationError("gamma must be positive")
+        if max_iterations <= 0:
+            raise ConfigurationError("max_iterations must be positive")
+        self.initial_trust = initial_trust
+        self.gamma = gamma
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def _fit(self, claims: ClaimMatrix) -> TruthResult:
+        graph = PositiveClaimGraph.from_claims(claims)
+        trust = np.full(graph.num_sources, self.initial_trust, dtype=float)
+        confidence = np.zeros(graph.num_facts, dtype=float)
+        iterations_run = 0
+
+        for iteration in range(self.max_iterations):
+            iterations_run = iteration + 1
+            # Trustworthiness score tau(s) = -ln(1 - t(s)).
+            tau = -np.log(np.clip(1.0 - trust, 1e-12, None))
+            # Fact confidence score sigma*(f) = sum of tau over asserting sources,
+            # squashed with the dampened logistic 1 / (1 + exp(-gamma * sigma*)).
+            sigma = graph.facts_from_sources(tau)
+            confidence = 1.0 / (1.0 + np.exp(-self.gamma * sigma))
+            # Facts nobody asserts keep zero confidence.
+            confidence = np.where(graph.fact_degree > 0, confidence, 0.0)
+
+            # New trustworthiness: average confidence of asserted facts.
+            sums = graph.sources_from_facts(confidence)
+            new_trust = sums / graph.safe_source_degree()
+            new_trust = np.clip(new_trust, 1e-6, 1.0 - 1e-6)
+
+            if self._converged(trust, new_trust):
+                trust = new_trust
+                break
+            trust = new_trust
+
+        return TruthResult(
+            method=self.name,
+            scores=np.clip(confidence, 0.0, 1.0),
+            extras={"trustworthiness": trust, "iterations": iterations_run},
+        )
+
+    def _converged(self, old: np.ndarray, new: np.ndarray) -> bool:
+        denom = float(np.linalg.norm(old) * np.linalg.norm(new))
+        if denom == 0.0:
+            return True
+        cosine = float(np.dot(old, new)) / denom
+        return 1.0 - cosine < self.tolerance

@@ -1,0 +1,40 @@
+"""Majority voting baseline.
+
+For each fact the score is the proportion of its claims that are positive —
+i.e. of the sources that said anything about the fact's entity, the fraction
+that asserted this particular attribute value.  At the canonical threshold of
+0.5 this is exactly "treat claims made by at least half of the relevant
+sources as true".
+
+As the paper notes (Section 6.2.1), when votes are counted per individual
+attribute value (rather than per concatenated value list) voting is a
+surprisingly strong baseline, but it cannot recover unpopular true values
+(e.g. co-authors listed by few sellers) and it has no notion of source
+quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import TruthMethod, TruthResult
+from repro.data.dataset import ClaimMatrix
+
+__all__ = ["Voting"]
+
+
+class Voting(TruthMethod):
+    """Per-fact positive-claim proportion (the paper's Voting baseline)."""
+
+    name = "Voting"
+
+    def _fit(self, claims: ClaimMatrix) -> TruthResult:
+        positives = claims.positive_counts_per_fact().astype(float)
+        totals = claims.claim_counts_per_fact().astype(float)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            scores = np.where(totals > 0, positives / np.maximum(totals, 1.0), 0.0)
+        return TruthResult(
+            method=self.name,
+            scores=scores,
+            extras={"positives": positives, "totals": totals},
+        )

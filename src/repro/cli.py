@@ -1,0 +1,157 @@
+"""Command-line interface: simulate datasets, integrate triple files, compare methods.
+
+The CLI is a thin wrapper over the library; it exists so that a downstream
+user can reproduce the core workflow without writing Python:
+
+* ``repro-truth simulate books out.tsv`` — write a simulated book-seller crawl;
+* ``repro-truth integrate in.tsv`` — run LTM on a triple file and print the
+  merged records and the source-quality report;
+* ``repro-truth compare in.tsv labels.tsv`` — run the full method comparison
+  against a ground-truth label file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.baselines import default_method_suite
+from repro.core.model import LatentTruthModel
+from repro.data.claim_builder import build_dataset
+from repro.data.loaders import load_labels_csv, load_triples_csv, save_triples_csv
+from repro.evaluation.comparison import compare_methods
+from repro.pipeline.integrate import IntegrationPipeline
+from repro.pipeline.report import (
+    format_integration_summary,
+    format_merged_records,
+    format_quality_report,
+)
+from repro.synth.books import BookAuthorConfig, BookAuthorSimulator
+from repro.synth.movies import MovieDirectorConfig, MovieDirectorSimulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-truth",
+        description="Latent Truth Model truth discovery for data integration",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="generate a simulated dataset")
+    simulate.add_argument("kind", choices=["books", "movies"], help="which simulator to run")
+    simulate.add_argument("output", help="path of the triple TSV to write")
+    simulate.add_argument("--entities", type=int, default=None, help="number of entities to simulate")
+    simulate.add_argument("--seed", type=int, default=17, help="random seed")
+
+    integrate = subparsers.add_parser("integrate", help="integrate a triple TSV with LTM")
+    integrate.add_argument("input", help="triple TSV with header entity/attribute/source")
+    integrate.add_argument("--iterations", type=int, default=100, help="Gibbs iterations")
+    integrate.add_argument("--threshold", type=float, default=0.5, help="acceptance threshold")
+    integrate.add_argument("--seed", type=int, default=7, help="random seed")
+    integrate.add_argument("--max-records", type=int, default=20, help="merged records to print")
+
+    compare = subparsers.add_parser("compare", help="compare all methods against labels")
+    compare.add_argument("input", help="triple TSV with header entity/attribute/source")
+    compare.add_argument("labels", help="label TSV with header entity/attribute/truth")
+    compare.add_argument("--iterations", type=int, default=100, help="Gibbs iterations for LTM")
+    compare.add_argument("--seed", type=int, default=7, help="random seed")
+    return parser
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    if args.kind == "books":
+        config = BookAuthorConfig(seed=args.seed)
+        if args.entities:
+            config = BookAuthorConfig(
+                num_books=args.entities,
+                labelled_books=min(100, args.entities),
+                seed=args.seed,
+            )
+        dataset = BookAuthorSimulator(config).generate()
+    else:
+        config = MovieDirectorConfig(seed=args.seed)
+        if args.entities:
+            config = MovieDirectorConfig(
+                num_movies=args.entities,
+                labelled_movies=min(100, args.entities),
+                seed=args.seed,
+            )
+        dataset = MovieDirectorSimulator(config).generate()
+
+    # Re-derive raw triples from the positive claims of the simulated dataset.
+    from repro.types import Triple
+
+    matrix = dataset.claims
+    triples = [
+        Triple(matrix.fact(int(f)).entity, matrix.fact(int(f)).attribute, matrix.source_names[int(s)])
+        for f, s, o in zip(matrix.claim_fact, matrix.claim_source, matrix.claim_obs)
+        if o
+    ]
+    count = save_triples_csv(triples, args.output)
+    print(f"wrote {count} triples ({dataset.claims.num_facts} facts, "
+          f"{dataset.claims.num_sources} sources) to {args.output}")
+    return 0
+
+
+def _run_integrate(args: argparse.Namespace) -> int:
+    raw = load_triples_csv(args.input)
+    # priors=None lets the model pick data-adaptive priors (LTMPriors.adaptive).
+    method = LatentTruthModel(priors=None, iterations=args.iterations, seed=args.seed)
+    pipeline = IntegrationPipeline(method=method, threshold=args.threshold)
+    result = pipeline.run(raw)
+
+    print(format_integration_summary(result))
+    print()
+    print("Merged records")
+    print("--------------")
+    print(format_merged_records(result.merged_records, limit=args.max_records))
+    if result.source_quality is not None:
+        print()
+        print("Source quality")
+        print("--------------")
+        print(format_quality_report(result.source_quality, top=20))
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    raw = load_triples_csv(args.input)
+    labels = load_labels_csv(args.labels)
+    dataset = build_dataset(raw, truth=labels, name=args.input)
+    if not dataset.labels:
+        print("error: none of the labelled (entity, attribute) pairs appear in the data", file=sys.stderr)
+        return 2
+    suite = default_method_suite(iterations=args.iterations, seed=args.seed)
+    # The LTMinc protocol needs unlabelled entities to learn source quality from;
+    # skip it when every entity in the file is labelled.
+    labelled_entities = {dataset.claims.fact(f).entity for f in dataset.labels}
+    include_incremental = len(labelled_entities) < dataset.claims.num_entities
+    table = compare_methods(
+        dataset,
+        suite,
+        include_incremental=include_incremental,
+        incremental_kwargs={"iterations": args.iterations, "seed": args.seed},
+    )
+    print(table.format())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "integrate":
+        return _run_integrate(args)
+    if args.command == "compare":
+        return _run_compare(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,133 @@
+"""Source confusion-count bookkeeping for the collapsed Gibbs sampler.
+
+The collapsed sampler of Algorithm 1 never materialises the quality
+parameters; it only needs, for every source ``s``, the counts
+``n[s, i, j]`` — the number of that source's claims whose referred fact
+currently has truth ``i`` and whose observation is ``j``.  :class:`SourceCounts`
+maintains those counts incrementally as truth assignments change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ModelError
+
+__all__ = ["SourceCounts"]
+
+
+class SourceCounts:
+    """Incrementally-maintained per-source confusion counts ``n[s, i, j]``.
+
+    ``i`` indexes the current truth assignment of the claim's fact (0/1) and
+    ``j`` the claim's observation (0/1), so ``n[s, 1, 1]`` is the source's
+    current true-positive count, ``n[s, 0, 1]`` its false-positive count,
+    ``n[s, 1, 0]`` its false-negative count and ``n[s, 0, 0]`` its
+    true-negative count.
+    """
+
+    def __init__(self, num_sources: int):
+        if num_sources <= 0:
+            raise ModelError("SourceCounts requires at least one source")
+        self.num_sources = num_sources
+        self.counts = np.zeros((num_sources, 2, 2), dtype=np.int64)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_assignment(cls, claims: ClaimMatrix, truth: np.ndarray) -> "SourceCounts":
+        """Build counts for ``claims`` under the truth assignment ``truth``.
+
+        Parameters
+        ----------
+        claims:
+            The claim matrix.
+        truth:
+            Boolean/integer array of length ``num_facts`` with the current
+            truth assignment of every fact.
+        """
+        truth = np.asarray(truth)
+        if truth.shape != (claims.num_facts,):
+            raise ModelError(
+                f"truth assignment must have shape ({claims.num_facts},), got {truth.shape}"
+            )
+        instance = cls(claims.num_sources)
+        claim_truth = truth[claims.claim_fact].astype(np.int64)
+        obs = claims.claim_obs.astype(np.int64)
+        np.add.at(instance.counts, (claims.claim_source, claim_truth, obs), 1)
+        return instance
+
+    # -- incremental updates -------------------------------------------------------
+    def move_fact(
+        self,
+        sources: np.ndarray,
+        observations: np.ndarray,
+        old_truth: int,
+        new_truth: int,
+    ) -> None:
+        """Move one fact's claims from truth bucket ``old_truth`` to ``new_truth``.
+
+        ``sources`` and ``observations`` are the claim arrays of the fact; a
+        source appears at most once per fact so plain ``np.add.at`` is exact.
+        """
+        if old_truth == new_truth:
+            return
+        obs = observations.astype(np.int64)
+        np.add.at(self.counts, (sources, old_truth, obs), -1)
+        np.add.at(self.counts, (sources, new_truth, obs), 1)
+
+    def add_fact(self, sources: np.ndarray, observations: np.ndarray, truth: int) -> None:
+        """Add one fact's claims under truth bucket ``truth``."""
+        np.add.at(self.counts, (sources, truth, observations.astype(np.int64)), 1)
+
+    def remove_fact(self, sources: np.ndarray, observations: np.ndarray, truth: int) -> None:
+        """Remove one fact's claims from truth bucket ``truth``."""
+        np.add.at(self.counts, (sources, truth, observations.astype(np.int64)), -1)
+
+    # -- views -----------------------------------------------------------------------
+    @property
+    def true_positives(self) -> np.ndarray:
+        """Per-source true-positive count ``n[s, 1, 1]``."""
+        return self.counts[:, 1, 1]
+
+    @property
+    def false_positives(self) -> np.ndarray:
+        """Per-source false-positive count ``n[s, 0, 1]``."""
+        return self.counts[:, 0, 1]
+
+    @property
+    def false_negatives(self) -> np.ndarray:
+        """Per-source false-negative count ``n[s, 1, 0]``."""
+        return self.counts[:, 1, 0]
+
+    @property
+    def true_negatives(self) -> np.ndarray:
+        """Per-source true-negative count ``n[s, 0, 0]``."""
+        return self.counts[:, 0, 0]
+
+    def totals_by_truth(self) -> np.ndarray:
+        """Return ``n[s, i, 0] + n[s, i, 1]`` with shape ``(S, 2)``."""
+        return self.counts.sum(axis=2)
+
+    def total(self) -> int:
+        """Total number of claims accounted for."""
+        return int(self.counts.sum())
+
+    def copy(self) -> "SourceCounts":
+        """Return an independent copy of the counts."""
+        clone = SourceCounts(self.num_sources)
+        clone.counts = self.counts.copy()
+        return clone
+
+    def verify_non_negative(self) -> None:
+        """Raise :class:`~repro.exceptions.ModelError` if any count went negative.
+
+        A negative count indicates an inconsistent sequence of incremental
+        updates and would silently corrupt the sampler's conditional
+        distributions.
+        """
+        if (self.counts < 0).any():
+            raise ModelError("source confusion counts became negative; inconsistent updates")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SourceCounts(num_sources={self.num_sources}, total={self.total()})"

@@ -1,0 +1,161 @@
+"""Incremental truth finding — the paper's LTMinc (Section 5.4, Equation 3).
+
+When data arrives as a stream, refitting the full model on every batch is
+wasteful.  The paper proposes two lighter alternatives:
+
+1. **Quality carry-over**: keep the learned expected confusion counts as
+   priors (``E[n_{s,i,j}] + alpha_{i,j}``) and fit LTM only on the new data —
+   implemented by :meth:`repro.core.model.LatentTruthModel.learned_quality_priors`
+   together with :meth:`repro.core.priors.LTMPriors.with_learned_quality`.
+2. **Closed-form prediction** (LTMinc): assume source quality is unchanged in
+   the medium term and compute each new fact's posterior truth probability
+   directly from the learned sensitivity/specificity via Equation (3) — no
+   sampling at all, which is why LTMinc is nearly as fast as Voting in the
+   paper's Table 9.
+
+:class:`IncrementalLTM` implements the second approach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
+from repro.core.priors import LTMPriors
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ModelError
+
+__all__ = ["posterior_truth_probability", "IncrementalLTM"]
+
+
+def posterior_truth_probability(
+    claims: ClaimMatrix,
+    sensitivity: np.ndarray,
+    specificity: np.ndarray,
+    truth_prior: tuple[float, float] = (0.5, 0.5),
+) -> np.ndarray:
+    """Equation (3): per-fact truth posterior under fixed source quality.
+
+    For each fact ``f`` with claims ``c`` from sources ``s_c``::
+
+        p(t_f = 1 | o, s)  proportional to  beta_1 * prod_c phi1_s^{o_c} (1 - phi1_s)^{1 - o_c}
+        p(t_f = 0 | o, s)  proportional to  beta_0 * prod_c phi0_s^{o_c} (1 - phi0_s)^{1 - o_c}
+
+    where ``phi1_s`` is the sensitivity of ``s`` and ``phi0_s`` its
+    false-positive rate (``1 - specificity``).
+
+    Parameters
+    ----------
+    claims:
+        Claims over the facts to score.  Source ids must index into the
+        quality arrays.
+    sensitivity, specificity:
+        Per-source quality estimates (e.g. from a previous LTM fit).
+    truth_prior:
+        ``(beta_1, beta_0)`` prior weights of true and false.
+
+    Returns
+    -------
+    numpy.ndarray
+        Posterior probability of truth per fact.
+    """
+    sensitivity = np.asarray(sensitivity, dtype=float)
+    specificity = np.asarray(specificity, dtype=float)
+    if sensitivity.shape != (claims.num_sources,) or specificity.shape != (claims.num_sources,):
+        raise ModelError(
+            "sensitivity and specificity must be per-source arrays matching the claim matrix"
+        )
+    beta1, beta0 = float(truth_prior[0]), float(truth_prior[1])
+    if beta1 <= 0 or beta0 <= 0:
+        raise ModelError("truth prior weights must be positive")
+
+    eps = 1e-12
+    phi1 = np.clip(sensitivity, eps, 1 - eps)
+    phi0 = np.clip(1.0 - specificity, eps, 1 - eps)
+
+    obs = claims.claim_obs.astype(float)
+    src = claims.claim_source
+
+    log_true = obs * np.log(phi1[src]) + (1 - obs) * np.log(1 - phi1[src])
+    log_false = obs * np.log(phi0[src]) + (1 - obs) * np.log(1 - phi0[src])
+
+    log_p_true = np.full(claims.num_facts, np.log(beta1))
+    log_p_false = np.full(claims.num_facts, np.log(beta0))
+    np.add.at(log_p_true, claims.claim_fact, log_true)
+    np.add.at(log_p_false, claims.claim_fact, log_false)
+
+    # Normalise in log space for numerical stability.
+    max_log = np.maximum(log_p_true, log_p_false)
+    p_true = np.exp(log_p_true - max_log)
+    p_false = np.exp(log_p_false - max_log)
+    return p_true / (p_true + p_false)
+
+
+class IncrementalLTM(TruthMethod):
+    """LTMinc: closed-form truth prediction from previously learned source quality.
+
+    Parameters
+    ----------
+    source_quality:
+        A :class:`~repro.core.base.SourceQualityTable` produced by a previous
+        :class:`~repro.core.model.LatentTruthModel` fit.  Sources in the new
+        data that are missing from the table fall back to ``default_sensitivity``
+        / ``default_specificity``.
+    truth_prior:
+        ``(beta_1, beta_0)`` prior weights, defaulting to the uniform prior
+        the paper uses.
+    default_sensitivity, default_specificity:
+        Quality assumed for previously unseen sources.
+    """
+
+    name = "LTMinc"
+
+    def __init__(
+        self,
+        source_quality: SourceQualityTable,
+        truth_prior: tuple[float, float] = (10.0, 10.0),
+        default_sensitivity: float = 0.5,
+        default_specificity: float = 0.99,
+    ):
+        super().__init__()
+        self.source_quality = source_quality
+        self.truth_prior = truth_prior
+        self.default_sensitivity = default_sensitivity
+        self.default_specificity = default_specificity
+
+    @classmethod
+    def from_model(cls, model_result: TruthResult, **kwargs) -> "IncrementalLTM":
+        """Build an incremental predictor from a fitted LTM result."""
+        if model_result.source_quality is None:
+            raise ModelError("the supplied result carries no source-quality table")
+        return cls(model_result.source_quality, **kwargs)
+
+    def _aligned_quality(self, claims: ClaimMatrix) -> tuple[np.ndarray, np.ndarray]:
+        """Map the stored quality table onto the claim matrix's source ids."""
+        known = {name: i for i, name in enumerate(self.source_quality.source_names)}
+        sensitivity = np.full(claims.num_sources, self.default_sensitivity, dtype=float)
+        specificity = np.full(claims.num_sources, self.default_specificity, dtype=float)
+        for sid, name in enumerate(claims.source_names):
+            j = known.get(name)
+            if j is not None:
+                sensitivity[sid] = self.source_quality.sensitivity[j]
+                specificity[sid] = self.source_quality.specificity[j]
+        return sensitivity, specificity
+
+    def _fit(self, claims: ClaimMatrix) -> TruthResult:
+        sensitivity, specificity = self._aligned_quality(claims)
+        scores = posterior_truth_probability(
+            claims, sensitivity, specificity, truth_prior=self.truth_prior
+        )
+        quality = SourceQualityTable(
+            source_names=tuple(claims.source_names),
+            sensitivity=sensitivity,
+            specificity=specificity,
+            precision=np.full(claims.num_sources, np.nan),
+        )
+        return TruthResult(
+            method=self.name,
+            scores=scores,
+            source_quality=quality,
+            extras={"truth_prior": self.truth_prior},
+        )

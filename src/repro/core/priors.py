@@ -1,0 +1,275 @@
+"""Prior specifications for the Latent Truth Model.
+
+The paper places Beta priors on each source's false-positive rate
+(``alpha0 = (alpha_{0,1}, alpha_{0,0})`` — prior false-positive and
+true-negative pseudo-counts), on each source's sensitivity
+(``alpha1 = (alpha_{1,1}, alpha_{1,0})`` — prior true-positive and
+false-negative pseudo-counts) and a Beta prior on each fact's prior truth
+probability (``beta = (beta_1, beta_0)``).
+
+:class:`LTMPriors` holds these and expands them into the ``(S, 2, 2)`` array
+of per-source pseudo-counts the collapsed Gibbs sampler consumes, optionally
+with per-source overrides (paper Section 4.2.1, "prior knowledge about the
+quality of some specific data sources") and with learned-quality carry-over
+for incremental retraining (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import PriorError
+
+__all__ = ["BetaPrior", "LTMPriors"]
+
+
+@dataclass(frozen=True, slots=True)
+class BetaPrior:
+    """A Beta prior expressed as ``(positive, negative)`` pseudo-counts.
+
+    For quality priors, ``positive`` is the pseudo-count of observation=True
+    claims and ``negative`` the pseudo-count of observation=False claims.
+    For the truth prior, ``positive`` is the prior true count ``beta_1`` and
+    ``negative`` the prior false count ``beta_0``.
+    """
+
+    positive: float
+    negative: float
+
+    def __post_init__(self) -> None:
+        if self.positive <= 0 or self.negative <= 0:
+            raise PriorError(
+                f"Beta pseudo-counts must be strictly positive, got ({self.positive}, {self.negative})"
+            )
+
+    @property
+    def mean(self) -> float:
+        """Prior expectation ``positive / (positive + negative)``."""
+        return self.positive / (self.positive + self.negative)
+
+    @property
+    def total(self) -> float:
+        """Prior strength (total pseudo-count)."""
+        return self.positive + self.negative
+
+    def as_array(self) -> np.ndarray:
+        """Return ``[negative, positive]`` indexed by observation value (0/1)."""
+        return np.array([self.negative, self.positive], dtype=float)
+
+    @classmethod
+    def from_mean(cls, mean: float, strength: float) -> "BetaPrior":
+        """Build a prior with the given expectation and total pseudo-count."""
+        if not 0.0 < mean < 1.0:
+            raise PriorError(f"prior mean must be in (0, 1), got {mean}")
+        if strength <= 0:
+            raise PriorError(f"prior strength must be positive, got {strength}")
+        return cls(positive=mean * strength, negative=(1.0 - mean) * strength)
+
+
+@dataclass
+class LTMPriors:
+    """The complete prior specification of the Latent Truth Model.
+
+    Attributes
+    ----------
+    false_positive:
+        Beta prior on each source's false-positive rate (the paper's
+        ``alpha0``).  ``positive`` is the prior false-positive count
+        ``alpha_{0,1}`` and ``negative`` the prior true-negative count
+        ``alpha_{0,0}``.  The paper recommends a strong prior favouring high
+        specificity (e.g. ``(10, 1000)``) so the model cannot flip all truths.
+    sensitivity:
+        Beta prior on each source's sensitivity (the paper's ``alpha1``).
+        ``positive`` is the prior true-positive count ``alpha_{1,1}`` and
+        ``negative`` the prior false-negative count ``alpha_{1,0}``.  A weak
+        uniform prior (e.g. ``(50, 50)``) reflects that missing data is
+        common.
+    truth:
+        Beta prior on the per-fact prior truth probability (the paper's
+        ``beta = (beta_1, beta_0)``).
+    per_source:
+        Optional per-source overrides: mapping from source name to a pair
+        ``(false_positive_prior, sensitivity_prior)``.
+    """
+
+    false_positive: BetaPrior = field(default_factory=lambda: BetaPrior(10.0, 1000.0))
+    sensitivity: BetaPrior = field(default_factory=lambda: BetaPrior(50.0, 50.0))
+    truth: BetaPrior = field(default_factory=lambda: BetaPrior(10.0, 10.0))
+    per_source: dict[str, tuple[BetaPrior, BetaPrior]] = field(default_factory=dict)
+
+    # -- canonical configurations ----------------------------------------------
+    @classmethod
+    def paper_book_defaults(cls) -> "LTMPriors":
+        """Priors the paper uses for the book-author dataset: alpha0=(10,1000)."""
+        return cls(
+            false_positive=BetaPrior(10.0, 1000.0),
+            sensitivity=BetaPrior(50.0, 50.0),
+            truth=BetaPrior(10.0, 10.0),
+        )
+
+    @classmethod
+    def paper_movie_defaults(cls) -> "LTMPriors":
+        """Priors the paper uses for the movie-director dataset: alpha0=(100,10000)."""
+        return cls(
+            false_positive=BetaPrior(100.0, 10000.0),
+            sensitivity=BetaPrior(50.0, 50.0),
+            truth=BetaPrior(10.0, 10.0),
+        )
+
+    @classmethod
+    def uniform(cls) -> "LTMPriors":
+        """Fully uninformative priors (useful for synthetic-data studies)."""
+        return cls(
+            false_positive=BetaPrior(1.0, 1.0),
+            sensitivity=BetaPrior(1.0, 1.0),
+            truth=BetaPrior(1.0, 1.0),
+        )
+
+    @classmethod
+    def scaled_to(cls, num_facts: int, specificity_mean: float = 0.99) -> "LTMPriors":
+        """Priors whose specificity pseudo-counts scale with the data size.
+
+        The paper notes the specificity prior counts "should be at the same
+        scale as the number of facts to become effective".
+        """
+        strength = max(float(num_facts), 10.0)
+        return cls(
+            false_positive=BetaPrior.from_mean(1.0 - specificity_mean, strength),
+            sensitivity=BetaPrior(50.0, 50.0),
+            truth=BetaPrior(10.0, 10.0),
+        )
+
+    @classmethod
+    def adaptive(
+        cls,
+        claims,
+        specificity_mean: float = 0.99,
+        strength_factor: float = 0.5,
+    ) -> "LTMPriors":
+        """Priors whose specificity strength adapts to the claims-per-source ratio.
+
+        The paper scales the specificity pseudo-counts with the dataset
+        ("at the same scale as the number of facts"), choosing ``(10, 1000)``
+        for the book data and ``(100, 10000)`` for the movie data.  Relative
+        to how much evidence each source contributes, those two choices are
+        very different: the book prior outweighs any single seller's claims
+        while the movie prior is dominated by each source's ~9000 claims.
+
+        This constructor encodes the rule we found robust across both
+        regimes: a prior strength of ``strength_factor`` times the average
+        number of claims per source (with a floor of 10), so the prior is
+        strong enough to forbid the all-flipped solution but weak enough for
+        per-source false-positive rates to be learned from the data.
+
+        Parameters
+        ----------
+        claims:
+            A :class:`~repro.data.dataset.ClaimMatrix` (only its size is used).
+        specificity_mean:
+            Prior expected specificity.
+        strength_factor:
+            Fraction of the average per-source claim count used as the prior
+            pseudo-count total.
+        """
+        claims_per_source = claims.num_claims / max(claims.num_sources, 1)
+        strength = max(10.0, strength_factor * claims_per_source)
+        return cls(
+            false_positive=BetaPrior.from_mean(1.0 - specificity_mean, strength),
+            sensitivity=BetaPrior(50.0, 50.0),
+            truth=BetaPrior(10.0, 10.0),
+        )
+
+    # -- expansion to sampler arrays ------------------------------------------------
+    def beta_array(self) -> np.ndarray:
+        """Return ``[beta_0, beta_1]`` indexed by truth value."""
+        return np.array([self.truth.negative, self.truth.positive], dtype=float)
+
+    def alpha_array(self, source_names: Sequence[str]) -> np.ndarray:
+        """Expand the priors to per-source pseudo-counts ``alpha[s, i, j]``.
+
+        ``alpha[s, 0, 1]`` is the prior false-positive count of source ``s``,
+        ``alpha[s, 0, 0]`` its prior true-negative count, ``alpha[s, 1, 1]``
+        its prior true-positive count and ``alpha[s, 1, 0]`` its prior
+        false-negative count — exactly the ``alpha_{i,j}`` of Equation (2).
+        """
+        num_sources = len(source_names)
+        alpha = np.empty((num_sources, 2, 2), dtype=float)
+        alpha[:, 0, 1] = self.false_positive.positive
+        alpha[:, 0, 0] = self.false_positive.negative
+        alpha[:, 1, 1] = self.sensitivity.positive
+        alpha[:, 1, 0] = self.sensitivity.negative
+        for name, (fp_prior, sens_prior) in self.per_source.items():
+            if name not in source_names:
+                continue
+            sid = list(source_names).index(name)
+            alpha[sid, 0, 1] = fp_prior.positive
+            alpha[sid, 0, 0] = fp_prior.negative
+            alpha[sid, 1, 1] = sens_prior.positive
+            alpha[sid, 1, 0] = sens_prior.negative
+        return alpha
+
+    def with_source_prior(
+        self,
+        source_name: str,
+        false_positive: BetaPrior,
+        sensitivity: BetaPrior,
+    ) -> "LTMPriors":
+        """Return a copy with an additional per-source prior override."""
+        per_source = dict(self.per_source)
+        per_source[source_name] = (false_positive, sensitivity)
+        return LTMPriors(
+            false_positive=self.false_positive,
+            sensitivity=self.sensitivity,
+            truth=self.truth,
+            per_source=per_source,
+        )
+
+    def with_learned_quality(
+        self,
+        source_names: Sequence[str],
+        expected_counts: np.ndarray | Mapping[str, np.ndarray],
+    ) -> "LTMPriors":
+        """Carry learned quality counts over as priors for incremental retraining.
+
+        Implements the paper's Section 5.4: "for each source we use
+        ``E[n_{s,i,j}] + alpha_{i,j}`` as its quality prior to replace
+        ``alpha_{i,j}``".
+
+        Parameters
+        ----------
+        source_names:
+            Source names aligned with ``expected_counts``.
+        expected_counts:
+            Either an ``(S, 2, 2)`` array of expected confusion counts or a
+            mapping from source name to a ``(2, 2)`` array.
+        """
+        per_source = dict(self.per_source)
+        if isinstance(expected_counts, Mapping):
+            items = expected_counts.items()
+        else:
+            counts = np.asarray(expected_counts, dtype=float)
+            if counts.shape != (len(source_names), 2, 2):
+                raise PriorError(
+                    f"expected counts must have shape ({len(source_names)}, 2, 2), got {counts.shape}"
+                )
+            items = zip(source_names, counts)
+        for name, count in items:
+            count = np.asarray(count, dtype=float)
+            fp_prior = BetaPrior(
+                positive=self.false_positive.positive + max(count[0, 1], 0.0),
+                negative=self.false_positive.negative + max(count[0, 0], 0.0),
+            )
+            sens_prior = BetaPrior(
+                positive=self.sensitivity.positive + max(count[1, 1], 0.0),
+                negative=self.sensitivity.negative + max(count[1, 0], 0.0),
+            )
+            per_source[name] = (fp_prior, sens_prior)
+        return LTMPriors(
+            false_positive=self.false_positive,
+            sensitivity=self.sensitivity,
+            truth=self.truth,
+            per_source=per_source,
+        )

@@ -1,0 +1,96 @@
+"""MAP source-quality estimation from fitted truth probabilities (Section 5.3).
+
+Once the Gibbs sampler has produced posterior truth probabilities for every
+fact, the expected confusion counts of each source follow directly:
+
+``E[n_{s,i,j}] = sum over claims c of source s with observation j of
+P(t_{f_c} = i)``
+
+and the MAP estimates of sensitivity, specificity and precision are the
+posterior means of the corresponding Beta distributions (the closed forms of
+Section 5.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SourceQualityTable
+from repro.core.priors import LTMPriors
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ModelError
+
+__all__ = ["expected_confusion_counts", "estimate_source_quality"]
+
+
+def expected_confusion_counts(claims: ClaimMatrix, scores: np.ndarray) -> np.ndarray:
+    """Expected per-source confusion counts ``E[n[s, i, j]]`` with shape ``(S, 2, 2)``.
+
+    Parameters
+    ----------
+    claims:
+        The claim matrix the scores were fitted on.
+    scores:
+        Posterior probability that each fact is true, indexed by fact id.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.shape != (claims.num_facts,):
+        raise ModelError(
+            f"scores must have shape ({claims.num_facts},), got {scores.shape}"
+        )
+    expected = np.zeros((claims.num_sources, 2, 2), dtype=float)
+    p_true = scores[claims.claim_fact]
+    obs = claims.claim_obs.astype(np.int64)
+    sources = claims.claim_source
+    # i = 1 bucket weighted by P(true); i = 0 bucket weighted by P(false).
+    np.add.at(expected, (sources, np.ones_like(obs), obs), p_true)
+    np.add.at(expected, (sources, np.zeros_like(obs), obs), 1.0 - p_true)
+    return expected
+
+
+def estimate_source_quality(
+    claims: ClaimMatrix,
+    scores: np.ndarray,
+    priors: LTMPriors | None = None,
+) -> SourceQualityTable:
+    """MAP estimates of sensitivity, specificity, precision and accuracy per source.
+
+    Implements the closed-form posterior means of Section 5.3:
+
+    * ``sensitivity(s) = (E[n_{s,1,1}] + alpha_{1,1}) / (E[n_{s,1,0}] + E[n_{s,1,1}] + alpha_{1,0} + alpha_{1,1})``
+    * ``specificity(s) = (E[n_{s,0,0}] + alpha_{0,0}) / (E[n_{s,0,0}] + E[n_{s,0,1}] + alpha_{0,0} + alpha_{0,1})``
+    * ``precision(s)  = (E[n_{s,1,1}] + alpha_{1,1}) / (E[n_{s,0,1}] + E[n_{s,1,1}] + alpha_{0,1} + alpha_{1,1})``
+
+    Accuracy is reported as the expected fraction of correct claims
+    ``(E[n_{s,1,1}] + E[n_{s,0,0}]) / E[n_s]`` without prior smoothing; it is
+    informational only (the paper argues against using it to model quality).
+    """
+    priors = priors if priors is not None else LTMPriors()
+    expected = expected_confusion_counts(claims, scores)
+    alpha = priors.alpha_array(claims.source_names)
+
+    tp = expected[:, 1, 1]
+    fn = expected[:, 1, 0]
+    fp = expected[:, 0, 1]
+    tn = expected[:, 0, 0]
+
+    a_tp = alpha[:, 1, 1]
+    a_fn = alpha[:, 1, 0]
+    a_fp = alpha[:, 0, 1]
+    a_tn = alpha[:, 0, 0]
+
+    sensitivity = (tp + a_tp) / (tp + fn + a_tp + a_fn)
+    specificity = (tn + a_tn) / (tn + fp + a_tn + a_fp)
+    precision = (tp + a_tp) / (tp + fp + a_tp + a_fp)
+
+    totals = tp + fn + fp + tn
+    with np.errstate(divide="ignore", invalid="ignore"):
+        accuracy = np.where(totals > 0, (tp + tn) / totals, np.nan)
+
+    return SourceQualityTable(
+        source_names=tuple(claims.source_names),
+        sensitivity=sensitivity,
+        specificity=specificity,
+        precision=precision,
+        accuracy=accuracy,
+    )

@@ -1,0 +1,213 @@
+"""Construction of the fact and claim tables from a raw database.
+
+This implements Definitions 2 and 3 of the paper:
+
+1. every distinct ``(entity, attribute)`` pair becomes a fact with a dense id;
+2. for each fact, every source that asserted it contributes a **positive**
+   claim;
+3. every source that asserted *some other* attribute of the same entity — but
+   not this fact — contributes a **negative** claim;
+4. sources that said nothing about the entity contribute no claim at all.
+
+The builder produces a :class:`~repro.data.dataset.ClaimMatrix`, the flat
+numpy encoding consumed by every solver.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.data.dataset import ClaimMatrix, TruthDataset
+from repro.data.raw import RawDatabase
+from repro.data.records import Fact
+from repro.exceptions import EmptyDatasetError
+from repro.store import Column, Schema, Table
+from repro.types import AttributeValue, EntityKey, FactId, SourceName, Triple
+
+__all__ = ["ClaimTableBuilder", "build_claim_matrix", "build_dataset"]
+
+
+class ClaimTableBuilder:
+    """Builds fact and claim tables (and relational views of them) from raw triples.
+
+    Parameters
+    ----------
+    raw:
+        The input :class:`~repro.data.raw.RawDatabase`.
+    """
+
+    def __init__(self, raw: RawDatabase):
+        raw.require_non_empty()
+        self.raw = raw
+        self._facts: list[Fact] = []
+        self._fact_ids: dict[tuple[EntityKey, AttributeValue], FactId] = {}
+        self._source_ids: dict[SourceName, int] = {}
+        self._claim_fact: list[int] = []
+        self._claim_source: list[int] = []
+        self._claim_obs: list[bool] = []
+        self._built = False
+
+    # -- id assignment -----------------------------------------------------------
+    def _fact_id(self, entity: EntityKey, attribute: AttributeValue) -> FactId:
+        key = (entity, attribute)
+        if key not in self._fact_ids:
+            fact_id = len(self._facts)
+            self._fact_ids[key] = fact_id
+            self._facts.append(Fact(fact_id=fact_id, entity=entity, attribute=attribute))
+        return self._fact_ids[key]
+
+    def _source_id(self, source: SourceName) -> int:
+        if source not in self._source_ids:
+            self._source_ids[source] = len(self._source_ids)
+        return self._source_ids[source]
+
+    # -- core construction --------------------------------------------------------
+    def build(self) -> ClaimMatrix:
+        """Run the claim-generation rules and return the claim matrix."""
+        if self._built:
+            return self._to_matrix()
+
+        # Register sources in first-seen order for reproducible ids.
+        for source in self.raw.sources:
+            self._source_id(source)
+
+        # Positive claims: sources that asserted the (entity, attribute) pair.
+        positive_pairs: set[tuple[FactId, int]] = set()
+        for triple in self.raw:
+            fact_id = self._fact_id(triple.entity, triple.attribute)
+            source_id = self._source_id(triple.source)
+            if (fact_id, source_id) in positive_pairs:
+                continue
+            positive_pairs.add((fact_id, source_id))
+            self._claim_fact.append(fact_id)
+            self._claim_source.append(source_id)
+            self._claim_obs.append(True)
+
+        # Negative claims: sources that asserted the entity but not this fact.
+        for fact in self._facts:
+            fact_sources = {
+                source_id
+                for (fid, source_id) in positive_pairs
+                if fid == fact.fact_id
+            }
+            entity_sources = {self._source_id(s) for s in self.raw.sources_of(fact.entity)}
+            for source_id in sorted(entity_sources - fact_sources):
+                self._claim_fact.append(fact.fact_id)
+                self._claim_source.append(source_id)
+                self._claim_obs.append(False)
+
+        self._built = True
+        return self._to_matrix()
+
+    def _to_matrix(self) -> ClaimMatrix:
+        source_names = [name for name, _ in sorted(self._source_ids.items(), key=lambda kv: kv[1])]
+        return ClaimMatrix(
+            facts=self._facts,
+            source_names=source_names,
+            claim_fact=np.asarray(self._claim_fact, dtype=np.int64),
+            claim_source=np.asarray(self._claim_source, dtype=np.int64),
+            claim_obs=np.asarray(self._claim_obs, dtype=np.int8),
+        )
+
+    # -- relational views -----------------------------------------------------------
+    def fact_table(self) -> Table:
+        """The fact table (Definition 2 / paper Table 2) as a relational table."""
+        if not self._built:
+            self.build()
+        schema = Schema(
+            columns=(Column("fact_id", int), Column("entity", object), Column("attribute", object)),
+            key=("fact_id",),
+        )
+        table = Table("facts", schema)
+        for fact in self._facts:
+            table.insert({"fact_id": fact.fact_id, "entity": fact.entity, "attribute": fact.attribute})
+        return table
+
+    def claim_table(self) -> Table:
+        """The claim table (Definition 3 / paper Table 3) as a relational table."""
+        matrix = self.build()
+        schema = Schema(
+            columns=(
+                Column("fact_id", int),
+                Column("source", object),
+                Column("observation", bool),
+            ),
+            key=("fact_id", "source"),
+        )
+        table = Table("claims", schema)
+        for fact_id, source_id, obs in zip(matrix.claim_fact, matrix.claim_source, matrix.claim_obs):
+            table.insert(
+                {
+                    "fact_id": int(fact_id),
+                    "source": matrix.source_names[int(source_id)],
+                    "observation": bool(obs),
+                }
+            )
+        return table
+
+    @property
+    def fact_ids(self) -> Mapping[tuple[EntityKey, AttributeValue], FactId]:
+        """Mapping of ``(entity, attribute)`` to fact id (after :meth:`build`)."""
+        return dict(self._fact_ids)
+
+
+def build_claim_matrix(triples: Iterable[Triple | tuple] | RawDatabase, strict: bool = False) -> ClaimMatrix:
+    """Convenience function: triples (or a raw database) straight to a claim matrix."""
+    if isinstance(triples, RawDatabase):
+        raw = triples
+    else:
+        raw = RawDatabase(triples, strict=strict)
+    return ClaimTableBuilder(raw).build()
+
+
+def build_dataset(
+    triples: Iterable[Triple | tuple] | RawDatabase,
+    truth: Mapping[tuple[EntityKey, AttributeValue], bool] | None = None,
+    name: str = "dataset",
+    labelled_entities: Iterable[EntityKey] | None = None,
+    strict: bool = False,
+) -> TruthDataset:
+    """Build a :class:`~repro.data.dataset.TruthDataset` from raw triples and ground truth.
+
+    Parameters
+    ----------
+    triples:
+        The raw assertion triples or an existing raw database.
+    truth:
+        Optional mapping from ``(entity, attribute)`` pairs to their ground
+        truth.  Pairs not present in the claim matrix are ignored; pairs in
+        the matrix but missing from ``truth`` are left unlabelled.
+    name:
+        Dataset name.
+    labelled_entities:
+        Optionally restrict labels to facts of these entities (mirrors the
+        paper's 100-entity labelled samples).
+    strict:
+        Whether duplicate triples raise instead of being ignored.
+    """
+    if isinstance(triples, RawDatabase):
+        raw = triples
+    else:
+        raw = RawDatabase(triples, strict=strict)
+    builder = ClaimTableBuilder(raw)
+    matrix = builder.build()
+    labels: dict[FactId, bool] = {}
+    restrict = set(labelled_entities) if labelled_entities is not None else None
+    if truth:
+        for pair, value in truth.items():
+            fact_id = builder.fact_ids.get(pair)
+            if fact_id is None:
+                continue
+            if restrict is not None and pair[0] not in restrict:
+                continue
+            labels[fact_id] = bool(value)
+    if not matrix.num_facts:
+        raise EmptyDatasetError("no facts were derived from the raw database")
+    return TruthDataset(
+        name=name,
+        claims=matrix,
+        labels=labels,
+        labelled_entities=tuple(restrict) if restrict is not None else (),
+    )

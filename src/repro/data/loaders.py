@@ -1,0 +1,158 @@
+"""Serialisation of raw triples, datasets and ground-truth labels.
+
+Formats are deliberately plain (CSV/TSV and JSON) so that datasets produced by
+the simulators in :mod:`repro.synth` can be written to disk once and reloaded
+by examples, tests and benchmarks without regeneration.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.data.dataset import ClaimMatrix, TruthDataset
+from repro.data.raw import RawDatabase
+from repro.data.records import Fact
+from repro.exceptions import DataModelError
+from repro.types import Triple
+
+__all__ = [
+    "load_triples_csv",
+    "save_triples_csv",
+    "load_labels_csv",
+    "save_labels_csv",
+    "load_dataset_json",
+    "save_dataset_json",
+]
+
+
+# ---------------------------------------------------------------------------
+# Raw triples (entity, attribute, source)
+# ---------------------------------------------------------------------------
+def save_triples_csv(triples: Iterable[Triple] | RawDatabase, path: str | Path, delimiter: str = "\t") -> int:
+    """Write triples to a delimited text file with a header row; return row count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(["entity", "attribute", "source"])
+        for triple in triples:
+            writer.writerow([triple.entity, triple.attribute, triple.source])
+            count += 1
+    return count
+
+
+def load_triples_csv(path: str | Path, delimiter: str = "\t", strict: bool = False) -> RawDatabase:
+    """Read a delimited triple file (with header) into a :class:`RawDatabase`."""
+    path = Path(path)
+    raw = RawDatabase(strict=strict)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        header = next(reader, None)
+        if header is None:
+            raise DataModelError(f"triple file {path} is empty")
+        expected = ["entity", "attribute", "source"]
+        if [h.strip().lower() for h in header] != expected:
+            raise DataModelError(f"triple file {path} must have header {expected}, got {header}")
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise DataModelError(f"{path}:{line_no}: expected 3 columns, got {len(row)}")
+            raw.add(Triple(row[0], row[1], row[2]))
+    return raw
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth labels
+# ---------------------------------------------------------------------------
+def save_labels_csv(
+    labels: Mapping[tuple[str, str], bool],
+    path: str | Path,
+    delimiter: str = "\t",
+) -> int:
+    """Write ``(entity, attribute) -> truth`` labels to a delimited file."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(["entity", "attribute", "truth"])
+        for (entity, attribute), value in labels.items():
+            writer.writerow([entity, attribute, int(bool(value))])
+            count += 1
+    return count
+
+
+def load_labels_csv(path: str | Path, delimiter: str = "\t") -> dict[tuple[str, str], bool]:
+    """Read ``(entity, attribute) -> truth`` labels from a delimited file."""
+    path = Path(path)
+    labels: dict[tuple[str, str], bool] = {}
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        header = next(reader, None)
+        if header is None:
+            raise DataModelError(f"label file {path} is empty")
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise DataModelError(f"{path}:{line_no}: expected 3 columns, got {len(row)}")
+            labels[(row[0], row[1])] = bool(int(row[2]))
+    return labels
+
+
+# ---------------------------------------------------------------------------
+# Full datasets (claim matrix + labels) as JSON
+# ---------------------------------------------------------------------------
+def save_dataset_json(dataset: TruthDataset, path: str | Path) -> None:
+    """Serialise a full :class:`TruthDataset` (claim matrix + labels) to JSON."""
+    path = Path(path)
+    payload = {
+        "name": dataset.name,
+        "facts": [
+            {"fact_id": f.fact_id, "entity": f.entity, "attribute": f.attribute}
+            for f in dataset.claims.facts
+        ],
+        "sources": list(dataset.claims.source_names),
+        "claims": {
+            "fact": dataset.claims.claim_fact.tolist(),
+            "source": dataset.claims.claim_source.tolist(),
+            "observation": dataset.claims.claim_obs.astype(int).tolist(),
+        },
+        "labels": {str(fact_id): bool(value) for fact_id, value in dataset.labels.items()},
+        "labelled_entities": list(dataset.labelled_entities),
+    }
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_dataset_json(path: str | Path) -> TruthDataset:
+    """Load a :class:`TruthDataset` previously written by :func:`save_dataset_json`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        facts = [
+            Fact(fact_id=int(f["fact_id"]), entity=f["entity"], attribute=f["attribute"])
+            for f in payload["facts"]
+        ]
+        matrix = ClaimMatrix(
+            facts=facts,
+            source_names=payload["sources"],
+            claim_fact=np.asarray(payload["claims"]["fact"], dtype=np.int64),
+            claim_source=np.asarray(payload["claims"]["source"], dtype=np.int64),
+            claim_obs=np.asarray(payload["claims"]["observation"], dtype=np.int8),
+        )
+        labels = {int(k): bool(v) for k, v in payload["labels"].items()}
+        return TruthDataset(
+            name=payload["name"],
+            claims=matrix,
+            labels=labels,
+            labelled_entities=tuple(payload.get("labelled_entities", ())),
+        )
+    except KeyError as exc:
+        raise DataModelError(f"dataset file {path} is missing field {exc}") from exc

@@ -1,0 +1,49 @@
+"""Evaluation harness: source-quality measures, truth-finding metrics and comparisons.
+
+This package implements the measures of paper Section 3 (per-source confusion
+matrices, precision/accuracy/sensitivity/specificity) and the experimental
+protocol of Section 6: precision/recall/false-positive-rate/accuracy/F1 of a
+method's predictions on a labelled subset at a decision threshold (Table 7),
+threshold sweeps (Figure 2), ROC curves and AUC (Figure 3), the LTMinc
+protocol, multi-method comparison tables, and the runtime-linearity regression
+of Figure 6.
+"""
+
+from repro.evaluation.confusion import ConfusionMatrix, source_confusion_matrices, source_quality_from_truth
+from repro.evaluation.metrics import (
+    EvaluationMetrics,
+    evaluate_predictions,
+    evaluate_scores,
+)
+from repro.evaluation.roc import roc_curve, auc_score, roc_auc_for_result
+from repro.evaluation.threshold import threshold_sweep, best_threshold
+from repro.evaluation.protocol import (
+    EvaluationProtocol,
+    MethodEvaluation,
+    evaluate_method_on_dataset,
+    evaluate_incremental_ltm,
+)
+from repro.evaluation.comparison import ComparisonTable, compare_methods
+from repro.evaluation.scaling import linear_fit, runtime_scaling_study
+
+__all__ = [
+    "ConfusionMatrix",
+    "source_confusion_matrices",
+    "source_quality_from_truth",
+    "EvaluationMetrics",
+    "evaluate_predictions",
+    "evaluate_scores",
+    "roc_curve",
+    "auc_score",
+    "roc_auc_for_result",
+    "threshold_sweep",
+    "best_threshold",
+    "EvaluationProtocol",
+    "MethodEvaluation",
+    "evaluate_method_on_dataset",
+    "evaluate_incremental_ltm",
+    "ComparisonTable",
+    "compare_methods",
+    "linear_fit",
+    "runtime_scaling_study",
+]

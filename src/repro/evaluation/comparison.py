@@ -1,0 +1,140 @@
+"""Multi-method comparison harness (paper Table 7, Figures 2 and 3).
+
+:func:`compare_methods` runs a suite of truth-finding methods on one dataset
+and collects, for each, the threshold-0.5 metrics, the ROC AUC and the
+runtime; :class:`ComparisonTable` formats the results in the layout of the
+paper's Table 7 and provides the per-threshold accuracy curves of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.base import TruthMethod
+from repro.core.priors import LTMPriors
+from repro.data.dataset import TruthDataset
+from repro.evaluation.protocol import (
+    EvaluationProtocol,
+    MethodEvaluation,
+    evaluate_incremental_ltm,
+    evaluate_method_on_dataset,
+)
+from repro.evaluation.threshold import threshold_sweep
+from repro.exceptions import EvaluationError
+
+__all__ = ["ComparisonTable", "compare_methods"]
+
+
+@dataclass
+class ComparisonTable:
+    """The results of comparing several methods on one dataset."""
+
+    dataset_name: str
+    evaluations: list[MethodEvaluation] = field(default_factory=list)
+
+    def add(self, evaluation: MethodEvaluation) -> None:
+        """Append one method's evaluation."""
+        self.evaluations.append(evaluation)
+
+    # -- access -------------------------------------------------------------------
+    def methods(self) -> list[str]:
+        """Names of the evaluated methods, in insertion order."""
+        return [e.method_name for e in self.evaluations]
+
+    def evaluation(self, method_name: str) -> MethodEvaluation:
+        """Return the evaluation of ``method_name``."""
+        for evaluation in self.evaluations:
+            if evaluation.method_name == method_name:
+                return evaluation
+        raise EvaluationError(f"no evaluation recorded for method {method_name!r}")
+
+    def metric(self, method_name: str, metric: str) -> float:
+        """Return one metric (``precision``/``recall``/``fpr``/``accuracy``/``f1``/``auc``)."""
+        evaluation = self.evaluation(method_name)
+        if metric == "auc":
+            return evaluation.auc
+        value = evaluation.metrics.as_dict().get(metric)
+        if value is None:
+            raise EvaluationError(f"unknown metric {metric!r}")
+        return float(value)
+
+    def ranked_by(self, metric: str = "accuracy", descending: bool = True) -> list[tuple[str, float]]:
+        """Methods ranked by ``metric``."""
+        pairs = [(name, self.metric(name, metric)) for name in self.methods()]
+        return sorted(pairs, key=lambda kv: kv[1], reverse=descending)
+
+    def as_rows(self) -> list[dict[str, float | str]]:
+        """One dict per method: the Table 7 row layout plus AUC and runtime."""
+        return [e.as_row() for e in self.evaluations]
+
+    def format(self, metrics: Sequence[str] = ("precision", "recall", "fpr", "accuracy", "f1")) -> str:
+        """Render the comparison as an aligned text table (like paper Table 7)."""
+        header = ["method"] + list(metrics)
+        rows = [header]
+        for evaluation in self.evaluations:
+            values = evaluation.metrics.as_dict()
+            rows.append(
+                [evaluation.method_name]
+                + [f"{values.get(m, float('nan')):.3f}" for m in metrics]
+            )
+        widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+        lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) for row in rows]
+        return "\n".join(lines)
+
+    # -- Figure 2 support ---------------------------------------------------------------
+    def accuracy_curves(
+        self,
+        dataset: TruthDataset,
+        thresholds: Sequence[float] | None = None,
+    ) -> dict[str, dict[float, float]]:
+        """Accuracy-versus-threshold curve of every method (Figure 2)."""
+        curves: dict[str, dict[float, float]] = {}
+        for evaluation in self.evaluations:
+            if evaluation.result is None:
+                continue
+            if evaluation.method_name == "LTMinc":
+                # LTMinc scores live on the labelled-entity matrix; its curve is
+                # computed by the protocol that produced it.
+                continue
+            sweep = threshold_sweep(evaluation.result, dataset.labels, thresholds=thresholds)
+            curves[evaluation.method_name] = {t: m.accuracy for t, m in sweep.items()}
+        return curves
+
+
+def compare_methods(
+    dataset: TruthDataset,
+    methods: Iterable[TruthMethod],
+    protocol: EvaluationProtocol | None = None,
+    include_incremental: bool = False,
+    incremental_kwargs: Mapping[str, object] | None = None,
+) -> ComparisonTable:
+    """Run every method in ``methods`` on ``dataset`` and collect a comparison table.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset (claims + labels) to evaluate on.
+    methods:
+        Instantiated truth methods (e.g. from
+        :func:`repro.baselines.default_method_suite`).
+    protocol:
+        Evaluation settings (threshold, AUC).
+    include_incremental:
+        Whether to additionally run the LTMinc protocol (Section 6.2), which
+        requires unlabelled entities to train on.
+    incremental_kwargs:
+        Keyword arguments forwarded to
+        :func:`repro.evaluation.protocol.evaluate_incremental_ltm`
+        (``priors``, ``iterations``, ``seed``).
+    """
+    protocol = protocol or EvaluationProtocol()
+    table = ComparisonTable(dataset_name=dataset.name)
+    if include_incremental:
+        kwargs = dict(incremental_kwargs or {})
+        table.add(evaluate_incremental_ltm(dataset, protocol=protocol, **kwargs))
+    for method in methods:
+        table.add(evaluate_method_on_dataset(method, dataset, protocol=protocol))
+    return table

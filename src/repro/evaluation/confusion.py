@@ -1,0 +1,171 @@
+"""Per-source confusion matrices and derived quality measures (paper Section 3).
+
+Given ground-truth labels for (a subset of) facts, every source can be graded
+as a classifier: its claims are predictions and the labels are the target.
+:class:`ConfusionMatrix` holds the four counts of paper Table 5 and exposes
+the derived measures of Section 3.1 — precision, accuracy, sensitivity
+(recall) and specificity — which are exactly the quantities computed for the
+worked example in Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.base import SourceQualityTable
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import MissingGroundTruthError
+from repro.types import FactId
+
+__all__ = ["ConfusionMatrix", "source_confusion_matrices", "source_quality_from_truth"]
+
+
+@dataclass(frozen=True)
+class ConfusionMatrix:
+    """True/false positive/negative counts for one classifier (paper Table 5)."""
+
+    true_positives: float
+    false_positives: float
+    false_negatives: float
+    true_negatives: float
+
+    # -- combination ------------------------------------------------------------
+    def __add__(self, other: "ConfusionMatrix") -> "ConfusionMatrix":
+        return ConfusionMatrix(
+            true_positives=self.true_positives + other.true_positives,
+            false_positives=self.false_positives + other.false_positives,
+            false_negatives=self.false_negatives + other.false_negatives,
+            true_negatives=self.true_negatives + other.true_negatives,
+        )
+
+    @property
+    def total(self) -> float:
+        """Total number of graded claims."""
+        return self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+
+    # -- derived measures (Section 3.1) -------------------------------------------
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when the source made no positive claims."""
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom > 0 else 1.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; NaN for an empty matrix."""
+        return (self.true_positives + self.true_negatives) / self.total if self.total > 0 else float("nan")
+
+    @property
+    def sensitivity(self) -> float:
+        """TP / (TP + FN), a.k.a. recall; 1.0 when there were no true facts."""
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom > 0 else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Alias for :attr:`sensitivity`."""
+        return self.sensitivity
+
+    @property
+    def specificity(self) -> float:
+        """TN / (TN + FP); 1.0 when there were no false facts."""
+        denom = self.true_negatives + self.false_positives
+        return self.true_negatives / denom if denom > 0 else 1.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """FP / (FP + TN) = 1 - specificity."""
+        return 1.0 - self.specificity
+
+    @property
+    def false_negative_rate(self) -> float:
+        """FN / (FN + TP) = 1 - sensitivity."""
+        return 1.0 - self.sensitivity
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """All counts and derived measures as a flat dict."""
+        return {
+            "TP": self.true_positives,
+            "FP": self.false_positives,
+            "FN": self.false_negatives,
+            "TN": self.true_negatives,
+            "precision": self.precision,
+            "accuracy": self.accuracy,
+            "sensitivity": self.sensitivity,
+            "specificity": self.specificity,
+            "f1": self.f1,
+        }
+
+
+def source_confusion_matrices(
+    claims: ClaimMatrix,
+    labels: Mapping[FactId, bool],
+) -> dict[str, ConfusionMatrix]:
+    """Confusion matrix of every source against ground-truth ``labels``.
+
+    Only claims about labelled facts are graded; sources with no graded claim
+    get an all-zero matrix.
+
+    Raises
+    ------
+    MissingGroundTruthError
+        If ``labels`` is empty.
+    """
+    if not labels:
+        raise MissingGroundTruthError("cannot grade sources without ground-truth labels")
+
+    counts = np.zeros((claims.num_sources, 2, 2), dtype=float)
+    label_array = np.full(claims.num_facts, -1, dtype=np.int64)
+    for fact_id, value in labels.items():
+        label_array[fact_id] = int(bool(value))
+
+    mask = label_array[claims.claim_fact] >= 0
+    sources = claims.claim_source[mask]
+    truths = label_array[claims.claim_fact[mask]]
+    obs = claims.claim_obs[mask].astype(np.int64)
+    np.add.at(counts, (sources, truths, obs), 1.0)
+
+    return {
+        name: ConfusionMatrix(
+            true_positives=float(counts[sid, 1, 1]),
+            false_positives=float(counts[sid, 0, 1]),
+            false_negatives=float(counts[sid, 1, 0]),
+            true_negatives=float(counts[sid, 0, 0]),
+        )
+        for sid, name in enumerate(claims.source_names)
+    }
+
+
+def source_quality_from_truth(
+    claims: ClaimMatrix,
+    labels: Mapping[FactId, bool],
+) -> SourceQualityTable:
+    """Supervised source-quality table computed directly from ground truth.
+
+    This is the supervised counterpart of
+    :func:`repro.core.quality.estimate_source_quality`; the paper uses it for
+    the worked example of Table 6 and we use it in tests to check that LTM's
+    unsupervised estimates recover the true source quality on synthetic data.
+    """
+    matrices = source_confusion_matrices(claims, labels)
+    names = tuple(claims.source_names)
+    sensitivity = np.array([matrices[n].sensitivity for n in names])
+    specificity = np.array([matrices[n].specificity for n in names])
+    precision = np.array([matrices[n].precision for n in names])
+    accuracy = np.array([matrices[n].accuracy for n in names])
+    return SourceQualityTable(
+        source_names=names,
+        sensitivity=sensitivity,
+        specificity=specificity,
+        precision=precision,
+        accuracy=accuracy,
+    )

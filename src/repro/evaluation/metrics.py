@@ -1,0 +1,151 @@
+"""Prediction-quality metrics for truth-finding methods (paper Table 7).
+
+The paper grades each method's truth predictions on the labelled subset with
+one-sided measures (precision, recall, false-positive rate) and two-sided
+measures (accuracy, F1), all at a decision threshold of 0.5 unless stated
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.base import TruthResult
+from repro.evaluation.confusion import ConfusionMatrix
+from repro.exceptions import EvaluationError, MissingGroundTruthError
+from repro.types import FactId
+
+__all__ = ["EvaluationMetrics", "evaluate_predictions", "evaluate_scores"]
+
+
+@dataclass(frozen=True)
+class EvaluationMetrics:
+    """The metric row reported per method and dataset in Table 7.
+
+    Attributes
+    ----------
+    precision, recall, false_positive_rate:
+        One-sided error measures.
+    accuracy, f1:
+        Two-sided error measures.
+    threshold:
+        Decision threshold the predictions were made at.
+    support:
+        Number of labelled facts graded.
+    confusion:
+        The underlying confusion matrix.
+    """
+
+    precision: float
+    recall: float
+    false_positive_rate: float
+    accuracy: float
+    f1: float
+    threshold: float
+    support: int
+    confusion: ConfusionMatrix
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the headline metrics as a flat dict (Table 7 row format)."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "fpr": self.false_positive_rate,
+            "accuracy": self.accuracy,
+            "f1": self.f1,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"fpr={self.false_positive_rate:.3f} accuracy={self.accuracy:.3f} f1={self.f1:.3f}"
+        )
+
+
+def evaluate_predictions(
+    predictions: np.ndarray | Sequence[bool],
+    labels: np.ndarray | Sequence[bool],
+    threshold: float = 0.5,
+) -> EvaluationMetrics:
+    """Grade Boolean ``predictions`` against Boolean ``labels``."""
+    predictions = np.asarray(predictions, dtype=bool)
+    labels = np.asarray(labels, dtype=bool)
+    if predictions.shape != labels.shape:
+        raise EvaluationError(
+            f"predictions and labels must align; got {predictions.shape} vs {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise MissingGroundTruthError("cannot evaluate on an empty labelled set")
+
+    tp = float(np.sum(predictions & labels))
+    fp = float(np.sum(predictions & ~labels))
+    fn = float(np.sum(~predictions & labels))
+    tn = float(np.sum(~predictions & ~labels))
+    confusion = ConfusionMatrix(
+        true_positives=tp, false_positives=fp, false_negatives=fn, true_negatives=tn
+    )
+    return EvaluationMetrics(
+        precision=confusion.precision,
+        recall=confusion.recall,
+        false_positive_rate=confusion.false_positive_rate,
+        accuracy=confusion.accuracy,
+        f1=confusion.f1,
+        threshold=threshold,
+        support=int(predictions.size),
+        confusion=confusion,
+    )
+
+
+def evaluate_scores(
+    scores: np.ndarray | TruthResult,
+    labels: Mapping[FactId, bool] | np.ndarray,
+    fact_ids: Sequence[FactId] | None = None,
+    threshold: float = 0.5,
+) -> EvaluationMetrics:
+    """Grade per-fact scores against ground truth at ``threshold``.
+
+    Parameters
+    ----------
+    scores:
+        Either the raw score array or a :class:`~repro.core.base.TruthResult`.
+    labels:
+        Either a mapping from fact id to truth (graded on its keys, or on
+        ``fact_ids`` when given) or a plain Boolean array aligned with
+        ``scores``.
+    fact_ids:
+        When ``labels`` is a mapping, the fact ids to grade (default: all
+        labelled fact ids, sorted).
+    threshold:
+        Decision threshold; scores greater than or equal to it are predicted
+        true.
+    """
+    if isinstance(scores, TruthResult):
+        scores = scores.scores
+    scores = np.asarray(scores, dtype=float)
+
+    if isinstance(labels, Mapping):
+        if fact_ids is None:
+            fact_ids = sorted(labels)
+        if not fact_ids:
+            raise MissingGroundTruthError("no labelled facts to evaluate on")
+        missing = [f for f in fact_ids if f not in labels]
+        if missing:
+            raise MissingGroundTruthError(f"facts {missing[:5]} have no ground-truth label")
+        indices = np.asarray(list(fact_ids), dtype=np.int64)
+        if indices.max(initial=-1) >= scores.shape[0]:
+            raise EvaluationError("a labelled fact id is outside the score array")
+        truth = np.array([labels[f] for f in fact_ids], dtype=bool)
+        selected = scores[indices]
+    else:
+        truth = np.asarray(labels, dtype=bool)
+        selected = scores
+        if truth.shape != selected.shape:
+            raise EvaluationError(
+                f"labels must align with scores; got {truth.shape} vs {selected.shape}"
+            )
+
+    predictions = selected >= threshold
+    return evaluate_predictions(predictions, truth, threshold=threshold)

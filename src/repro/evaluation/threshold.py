@@ -1,0 +1,79 @@
+"""Decision-threshold sweeps (paper Figure 2).
+
+The paper plots each method's accuracy as the decision threshold varies from
+0 to 1, showing that LTM is stable across thresholds while the conservative
+methods peak at very low thresholds and the optimistic ones only at very high
+thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.base import TruthResult
+from repro.evaluation.metrics import EvaluationMetrics, evaluate_scores
+from repro.exceptions import EvaluationError
+from repro.types import FactId
+
+__all__ = ["threshold_sweep", "best_threshold"]
+
+
+def threshold_sweep(
+    result: TruthResult | np.ndarray,
+    labels: Mapping[FactId, bool],
+    thresholds: Sequence[float] | None = None,
+    fact_ids: Sequence[FactId] | None = None,
+) -> dict[float, EvaluationMetrics]:
+    """Evaluate a method at every threshold in ``thresholds``.
+
+    Parameters
+    ----------
+    result:
+        Fitted result (or raw score array).
+    labels:
+        Ground-truth labels keyed by fact id.
+    thresholds:
+        Thresholds to evaluate at; defaults to 0.0, 0.05, ..., 1.0.
+    fact_ids:
+        Facts to grade (defaults to all labelled facts).
+
+    Returns
+    -------
+    dict
+        Mapping from threshold to :class:`EvaluationMetrics`.
+    """
+    if thresholds is None:
+        thresholds = np.round(np.linspace(0.0, 1.0, 21), 3).tolist()
+    out: dict[float, EvaluationMetrics] = {}
+    for threshold in thresholds:
+        if not 0.0 <= threshold <= 1.0:
+            raise EvaluationError(f"thresholds must lie in [0, 1], got {threshold}")
+        out[float(threshold)] = evaluate_scores(
+            result, labels, fact_ids=fact_ids, threshold=float(threshold)
+        )
+    return out
+
+
+def best_threshold(
+    sweep: Mapping[float, EvaluationMetrics],
+    metric: str = "accuracy",
+) -> tuple[float, float]:
+    """Return ``(threshold, value)`` maximising ``metric`` over a sweep.
+
+    The paper notes that finding this optimum in practice would require
+    supervision; it is reported for analysis only.
+    """
+    if not sweep:
+        raise EvaluationError("cannot select a best threshold from an empty sweep")
+    best_t, best_v = None, -np.inf
+    for threshold, metrics in sweep.items():
+        value = getattr(metrics, metric, None)
+        if value is None:
+            value = metrics.as_dict().get(metric)
+        if value is None:
+            raise EvaluationError(f"unknown metric {metric!r}")
+        if value > best_v:
+            best_t, best_v = threshold, float(value)
+    return float(best_t), float(best_v)

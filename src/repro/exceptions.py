@@ -1,0 +1,116 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while still being able to distinguish finer-grained categories.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "StoreError",
+    "DuplicateKeyError",
+    "UnknownColumnError",
+    "DataModelError",
+    "DuplicateRowError",
+    "UnknownFactError",
+    "UnknownSourceError",
+    "EmptyDatasetError",
+    "ModelError",
+    "NotFittedError",
+    "PriorError",
+    "ConvergenceWarning",
+    "EvaluationError",
+    "MissingGroundTruthError",
+    "StreamError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by the :mod:`repro` library."""
+
+
+# ---------------------------------------------------------------------------
+# Storage layer
+# ---------------------------------------------------------------------------
+class StoreError(ReproError):
+    """Base class for errors raised by the in-memory relational store."""
+
+
+class SchemaError(StoreError):
+    """A table schema is invalid or a row does not match its table schema."""
+
+
+class DuplicateKeyError(StoreError):
+    """A row violates a unique/primary key constraint."""
+
+
+class UnknownColumnError(StoreError):
+    """A query referenced a column that does not exist in the table."""
+
+
+# ---------------------------------------------------------------------------
+# Data model layer
+# ---------------------------------------------------------------------------
+class DataModelError(ReproError):
+    """Base class for errors in the truth-finding data model."""
+
+
+class DuplicateRowError(DataModelError):
+    """A duplicate (entity, attribute, source) triple was inserted."""
+
+
+class UnknownFactError(DataModelError):
+    """A claim or truth label referenced a fact id that does not exist."""
+
+
+class UnknownSourceError(DataModelError):
+    """An operation referenced a source that does not exist."""
+
+
+class EmptyDatasetError(DataModelError):
+    """An operation requiring data was attempted on an empty dataset."""
+
+
+# ---------------------------------------------------------------------------
+# Model / inference layer
+# ---------------------------------------------------------------------------
+class ModelError(ReproError):
+    """Base class for errors raised by truth-finding models."""
+
+
+class NotFittedError(ModelError):
+    """A result or quality estimate was requested before ``fit`` was called."""
+
+
+class PriorError(ModelError):
+    """A prior specification (Beta pseudo-counts) is invalid."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Raised (as a warning) when an iterative method fails to converge."""
+
+
+# ---------------------------------------------------------------------------
+# Evaluation layer
+# ---------------------------------------------------------------------------
+class EvaluationError(ReproError):
+    """Base class for errors raised by the evaluation harness."""
+
+
+class MissingGroundTruthError(EvaluationError):
+    """An evaluation was attempted on facts without ground-truth labels."""
+
+
+# ---------------------------------------------------------------------------
+# Streaming layer
+# ---------------------------------------------------------------------------
+class StreamError(ReproError):
+    """Base class for errors raised by the streaming integration engine."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contained inconsistent or invalid settings."""

@@ -1,0 +1,33 @@
+"""Extensions sketched in the paper's Section 7.
+
+These are the generalisations the paper lists as future directions, built on
+top of the core model:
+
+* :class:`~repro.extensions.adversarial.AdversarialSourceFilter` — iteratively
+  remove sources whose inferred specificity/precision falls below a
+  threshold and re-fit, protecting benign sources from adversarial data.
+* :class:`~repro.extensions.gaussian_ltm.GaussianTruthModel` — a real-valued
+  loss variant for numeric attributes, replacing the Bernoulli observation
+  model with a Gaussian around the latent true value.
+* :class:`~repro.extensions.multi_attribute.MultiAttributeLTM` — joint
+  modelling of several attribute types with a shared source-quality prior.
+* :class:`~repro.extensions.entity_clusters.EntityClusteredLTM` — entity-
+  cluster-specific source quality.
+"""
+
+from repro.extensions.adversarial import AdversarialFilterReport, AdversarialSourceFilter
+from repro.extensions.gaussian_ltm import GaussianClaim, GaussianTruthModel, GaussianTruthResult
+from repro.extensions.multi_attribute import AttributeTypeResult, MultiAttributeLTM
+from repro.extensions.entity_clusters import EntityClusteredLTM, ClusterResult
+
+__all__ = [
+    "AdversarialSourceFilter",
+    "AdversarialFilterReport",
+    "GaussianClaim",
+    "GaussianTruthModel",
+    "GaussianTruthResult",
+    "MultiAttributeLTM",
+    "AttributeTypeResult",
+    "EntityClusteredLTM",
+    "ClusterResult",
+]

@@ -1,0 +1,136 @@
+"""Adversarial-source filtering (paper Section 7, "Adversarial sources").
+
+LTM assumes sources are mostly benign; a source whose majority of data is
+false artificially inflates the specificity of benign sources and makes their
+occasional false facts harder to detect.  The paper's suggested remedy is to
+run LTM iteratively, at each step removing sources whose inferred specificity
+and precision fall below a threshold, then re-fitting on the remaining
+claims.  :class:`AdversarialSourceFilter` implements that loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import TruthResult
+from repro.core.model import LatentTruthModel
+from repro.core.priors import LTMPriors
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ConfigurationError, ModelError
+
+__all__ = ["AdversarialFilterReport", "AdversarialSourceFilter"]
+
+
+@dataclass
+class AdversarialFilterReport:
+    """Outcome of the iterative filtering loop.
+
+    Attributes
+    ----------
+    removed_sources:
+        Names of the sources removed, in removal order.
+    rounds:
+        Number of fit-and-filter rounds performed.
+    final_result:
+        The LTM result of the final round (fitted on the surviving sources).
+    final_claims:
+        The claim matrix of the final round.
+    """
+
+    removed_sources: list[str] = field(default_factory=list)
+    rounds: int = 0
+    final_result: TruthResult | None = None
+    final_claims: ClaimMatrix | None = None
+
+
+class AdversarialSourceFilter:
+    """Iteratively drop low-specificity / low-precision sources and re-fit LTM.
+
+    Parameters
+    ----------
+    specificity_threshold, precision_threshold:
+        A source is removed when *both* its inferred specificity and
+        precision fall below these thresholds (an aggressively wrong source).
+    max_rounds:
+        Upper bound on fit-and-filter rounds.
+    min_sources:
+        Filtering never reduces the source set below this size.
+    priors, iterations, seed:
+        Passed to the underlying :class:`~repro.core.model.LatentTruthModel`.
+    """
+
+    def __init__(
+        self,
+        specificity_threshold: float = 0.5,
+        precision_threshold: float = 0.5,
+        max_rounds: int = 5,
+        min_sources: int = 2,
+        priors: LTMPriors | None = None,
+        iterations: int = 50,
+        seed: int | None = 19,
+    ):
+        if not 0.0 <= specificity_threshold <= 1.0 or not 0.0 <= precision_threshold <= 1.0:
+            raise ConfigurationError("thresholds must lie in [0, 1]")
+        if max_rounds <= 0:
+            raise ConfigurationError("max_rounds must be positive")
+        if min_sources < 1:
+            raise ConfigurationError("min_sources must be at least 1")
+        self.specificity_threshold = specificity_threshold
+        self.precision_threshold = precision_threshold
+        self.max_rounds = max_rounds
+        self.min_sources = min_sources
+        self.priors = priors
+        self.iterations = iterations
+        self.seed = seed
+
+    def run(self, claims: ClaimMatrix) -> AdversarialFilterReport:
+        """Run the fit-and-filter loop on ``claims``."""
+        report = AdversarialFilterReport()
+        current = claims
+        for round_index in range(self.max_rounds):
+            model = LatentTruthModel(
+                priors=self.priors, iterations=self.iterations, seed=self.seed
+            )
+            result = model.fit(current)
+            report.rounds = round_index + 1
+            report.final_result = result
+            report.final_claims = current
+
+            quality = result.source_quality
+            if quality is None:
+                raise ModelError("LTM did not produce a source-quality table")
+            suspicious = [
+                name
+                for i, name in enumerate(quality.source_names)
+                if quality.specificity[i] < self.specificity_threshold
+                and quality.precision[i] < self.precision_threshold
+            ]
+            if not suspicious:
+                break
+            survivors = [
+                name for name in current.source_names if name not in set(suspicious)
+            ]
+            if len(survivors) < self.min_sources:
+                break
+            report.removed_sources.extend(suspicious)
+            current = self._drop_sources(current, set(suspicious))
+        return report
+
+    @staticmethod
+    def _drop_sources(claims: ClaimMatrix, to_remove: set[str]) -> ClaimMatrix:
+        """Return a claim matrix without the claims of ``to_remove`` sources."""
+        keep_ids = [i for i, name in enumerate(claims.source_names) if name not in to_remove]
+        keep_names = [claims.source_names[i] for i in keep_ids]
+        remap = {old: new for new, old in enumerate(keep_ids)}
+        mask = [int(s) in remap for s in claims.claim_source]
+        import numpy as np
+
+        mask = np.asarray(mask, dtype=bool)
+        new_sources = np.array([remap[int(s)] for s in claims.claim_source[mask]], dtype=np.int64)
+        return ClaimMatrix(
+            facts=claims.facts,
+            source_names=keep_names,
+            claim_fact=claims.claim_fact[mask],
+            claim_source=new_sources,
+            claim_obs=claims.claim_obs[mask],
+        )

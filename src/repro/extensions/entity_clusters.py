@@ -1,0 +1,166 @@
+"""Entity-cluster-specific source quality (paper Section 7).
+
+LTM assumes a source is uniformly good or bad across every entity it covers,
+which is often false in practice ("IMDB may be accurate with horror movies
+but not dramas").  The paper's proposed remedy is to partition entities into
+clusters and learn cluster-specific quality.
+
+:class:`EntityClusteredLTM` implements the simplest useful version: the
+caller supplies (or a heuristic derives) a cluster label per entity; the
+claim matrix is split by cluster; LTM is fitted per cluster; and the
+per-cluster quality tables plus a combined per-fact score vector are
+returned.  Clusters too small to fit reliably are merged into a catch-all
+cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.core.base import SourceQualityTable, TruthResult
+from repro.core.model import LatentTruthModel
+from repro.core.priors import LTMPriors
+from repro.data.dataset import ClaimMatrix
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.types import EntityKey
+
+__all__ = ["ClusterResult", "EntityClusteredLTM"]
+
+_FALLBACK_CLUSTER = "__rest__"
+
+
+@dataclass
+class ClusterResult:
+    """Per-cluster fit output.
+
+    Attributes
+    ----------
+    cluster:
+        Cluster label.
+    entities:
+        Entities in the cluster.
+    result:
+        The LTM result of the cluster's claim matrix.
+    fact_ids:
+        Fact ids (in the original matrix) covered by the cluster, aligned
+        with ``result.scores``.
+    """
+
+    cluster: str
+    entities: list[EntityKey]
+    result: TruthResult
+    fact_ids: list[int] = field(default_factory=list)
+
+    @property
+    def source_quality(self) -> SourceQualityTable | None:
+        """Cluster-specific source quality."""
+        return self.result.source_quality
+
+
+class EntityClusteredLTM:
+    """Fit LTM separately per entity cluster and combine the scores.
+
+    Parameters
+    ----------
+    cluster_assignment:
+        Either a mapping of entity to cluster label, or a callable
+        ``entity -> label``.  Entities not covered fall into a catch-all
+        cluster.
+    min_cluster_entities:
+        Clusters with fewer entities than this are merged into the catch-all
+        cluster (tiny clusters cannot support quality estimation).
+    priors, iterations, seed:
+        Settings of the per-cluster models.
+    """
+
+    def __init__(
+        self,
+        cluster_assignment: Mapping[EntityKey, str] | Callable[[EntityKey], str],
+        min_cluster_entities: int = 5,
+        priors: LTMPriors | None = None,
+        iterations: int = 50,
+        seed: int | None = 31,
+    ):
+        if min_cluster_entities < 1:
+            raise ConfigurationError("min_cluster_entities must be at least 1")
+        self.cluster_assignment = cluster_assignment
+        self.min_cluster_entities = min_cluster_entities
+        self.priors = priors
+        self.iterations = iterations
+        self.seed = seed
+
+    # -- clustering ------------------------------------------------------------------
+    def _label_of(self, entity: EntityKey) -> str:
+        if callable(self.cluster_assignment):
+            label = self.cluster_assignment(entity)
+        else:
+            label = self.cluster_assignment.get(entity, _FALLBACK_CLUSTER)
+        return str(label) if label is not None else _FALLBACK_CLUSTER
+
+    def _partition(self, claims: ClaimMatrix) -> dict[str, list[EntityKey]]:
+        clusters: dict[str, list[EntityKey]] = {}
+        for entity in claims.entities:
+            clusters.setdefault(self._label_of(entity), []).append(entity)
+        # Merge tiny clusters into the catch-all.
+        merged: dict[str, list[EntityKey]] = {}
+        for label, entities in clusters.items():
+            if len(entities) < self.min_cluster_entities and label != _FALLBACK_CLUSTER:
+                merged.setdefault(_FALLBACK_CLUSTER, []).extend(entities)
+            else:
+                merged.setdefault(label, []).extend(entities)
+        return merged
+
+    # -- fitting ----------------------------------------------------------------------
+    def fit(self, claims: ClaimMatrix) -> tuple[np.ndarray, dict[str, ClusterResult]]:
+        """Fit every cluster and return ``(combined_scores, per_cluster_results)``.
+
+        ``combined_scores`` is aligned with the input claim matrix's fact ids.
+        """
+        if claims.num_facts == 0:
+            raise EmptyDatasetError("cannot fit on an empty claim matrix")
+        partitions = self._partition(claims)
+        combined = np.zeros(claims.num_facts, dtype=float)
+        outputs: dict[str, ClusterResult] = {}
+
+        for label, entities in partitions.items():
+            fact_ids = [
+                fact_id
+                for entity in entities
+                for fact_id in claims.facts_of_entity(entity)
+            ]
+            if not fact_ids:
+                continue
+            sub_matrix = claims.restrict_to_facts(fact_ids)
+            model = LatentTruthModel(priors=self.priors, iterations=self.iterations, seed=self.seed)
+            result = model.fit(sub_matrix)
+            ordered_ids = sorted(set(fact_ids))
+            combined[ordered_ids] = result.scores
+            outputs[label] = ClusterResult(
+                cluster=label,
+                entities=list(entities),
+                result=result,
+                fact_ids=ordered_ids,
+            )
+        return combined, outputs
+
+    @staticmethod
+    def quality_divergence(results: Mapping[str, ClusterResult]) -> dict[str, float]:
+        """Per-source spread of sensitivity across clusters (max - min).
+
+        Large values indicate entity-dependent quality — the phenomenon this
+        extension exists to capture.
+        """
+        per_source: dict[str, list[float]] = {}
+        for cluster_result in results.values():
+            quality = cluster_result.source_quality
+            if quality is None:
+                continue
+            for i, name in enumerate(quality.source_names):
+                per_source.setdefault(name, []).append(float(quality.sensitivity[i]))
+        return {
+            name: (max(values) - min(values)) if len(values) > 1 else 0.0
+            for name, values in per_source.items()
+        }

@@ -1,0 +1,18 @@
+"""End-to-end data-integration pipeline.
+
+This package ties the substrate together into the workflow the paper's
+introduction motivates: ingest raw ``(entity, attribute, source)`` assertions
+from several sources, derive facts and claims, infer which facts are true
+(and how reliable each source is), and emit merged records plus a
+source-quality report.
+"""
+
+from repro.pipeline.integrate import IntegrationPipeline, IntegrationResult
+from repro.pipeline.report import format_quality_report, format_merged_records
+
+__all__ = [
+    "IntegrationPipeline",
+    "IntegrationResult",
+    "format_quality_report",
+    "format_merged_records",
+]

@@ -1,0 +1,169 @@
+"""The batch integration pipeline: raw triples in, merged records out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
+from repro.core.model import LatentTruthModel
+from repro.data.claim_builder import ClaimTableBuilder
+from repro.data.dataset import ClaimMatrix
+from repro.data.raw import RawDatabase
+from repro.exceptions import ConfigurationError
+from repro.store import Column, Database, Schema
+from repro.types import Triple
+
+__all__ = ["IntegrationResult", "IntegrationPipeline"]
+
+
+@dataclass
+class IntegrationResult:
+    """Everything produced by one integration run.
+
+    Attributes
+    ----------
+    merged_records:
+        Mapping of entity to the attribute values accepted as true.
+    rejected_records:
+        Mapping of entity to the asserted attribute values rejected as false.
+    fact_scores:
+        Mapping of ``(entity, attribute)`` to the inferred truth probability.
+    source_quality:
+        Per-source quality table, when the method provides one.
+    truth_result:
+        The raw solver output.
+    claims:
+        The claim matrix the solver was fitted on.
+    workspace:
+        A relational :class:`~repro.store.Database` holding the raw, fact,
+        claim and truth tables of the run (for inspection and debugging).
+    """
+
+    merged_records: dict[str, list[str]] = field(default_factory=dict)
+    rejected_records: dict[str, list[str]] = field(default_factory=dict)
+    fact_scores: dict[tuple[str, str], float] = field(default_factory=dict)
+    source_quality: SourceQualityTable | None = None
+    truth_result: TruthResult | None = None
+    claims: ClaimMatrix | None = None
+    workspace: Database | None = None
+
+    def accepted_values(self, entity: str) -> list[str]:
+        """Accepted attribute values of ``entity`` (empty when unknown)."""
+        return list(self.merged_records.get(entity, ()))
+
+    def num_accepted(self) -> int:
+        """Total number of accepted facts."""
+        return sum(len(values) for values in self.merged_records.values())
+
+    def num_rejected(self) -> int:
+        """Total number of rejected facts."""
+        return sum(len(values) for values in self.rejected_records.values())
+
+
+class IntegrationPipeline:
+    """Runs the full integration flow on a raw assertion database.
+
+    Parameters
+    ----------
+    method:
+        The truth-finding method to use (defaults to
+        :class:`~repro.core.model.LatentTruthModel` with library defaults).
+    threshold:
+        Truth-probability threshold above which a fact is accepted into the
+        merged records.
+    keep_workspace:
+        Whether to materialise the intermediate relational tables in the
+        result's ``workspace`` database (useful for debugging, costs memory).
+    """
+
+    def __init__(
+        self,
+        method: TruthMethod | None = None,
+        threshold: float = 0.5,
+        keep_workspace: bool = False,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ConfigurationError("threshold must lie in [0, 1]")
+        self.method = method if method is not None else LatentTruthModel()
+        self.threshold = threshold
+        self.keep_workspace = keep_workspace
+
+    def run(self, triples: Iterable[Triple | tuple] | RawDatabase) -> IntegrationResult:
+        """Integrate ``triples`` and return the merged records and quality report."""
+        raw = triples if isinstance(triples, RawDatabase) else RawDatabase(triples, strict=False)
+        raw.require_non_empty()
+
+        builder = ClaimTableBuilder(raw)
+        claims = builder.build()
+        truth_result = self.method.fit(claims)
+
+        merged: dict[str, list[str]] = {}
+        rejected: dict[str, list[str]] = {}
+        fact_scores: dict[tuple[str, str], float] = {}
+        for fact in claims.facts:
+            score = float(truth_result.scores[fact.fact_id])
+            fact_scores[(fact.entity, str(fact.attribute))] = score
+            bucket = merged if score >= self.threshold else rejected
+            bucket.setdefault(fact.entity, []).append(str(fact.attribute))
+
+        workspace = self._build_workspace(raw, builder, claims, truth_result) if self.keep_workspace else None
+        return IntegrationResult(
+            merged_records=merged,
+            rejected_records=rejected,
+            fact_scores=fact_scores,
+            source_quality=truth_result.source_quality,
+            truth_result=truth_result,
+            claims=claims,
+            workspace=workspace,
+        )
+
+    def _build_workspace(
+        self,
+        raw: RawDatabase,
+        builder: ClaimTableBuilder,
+        claims: ClaimMatrix,
+        truth_result: TruthResult,
+    ) -> Database:
+        """Materialise raw/fact/claim/truth tables as a relational workspace."""
+        workspace = Database("integration")
+
+        raw_table = workspace.create_table(
+            "raw_database",
+            Schema(
+                columns=(Column("entity", object), Column("attribute", object), Column("source", object)),
+            ),
+        )
+        for triple in raw:
+            raw_table.insert(
+                {"entity": triple.entity, "attribute": triple.attribute, "source": triple.source}
+            )
+
+        workspace.attach(builder.fact_table())
+        workspace.attach(builder.claim_table())
+
+        truth_table = workspace.create_table(
+            "truths",
+            Schema(
+                columns=(
+                    Column("fact_id", int),
+                    Column("entity", object),
+                    Column("attribute", object),
+                    Column("score", float),
+                    Column("truth", bool),
+                ),
+                key=("fact_id",),
+            ),
+        )
+        for fact in claims.facts:
+            score = float(truth_result.scores[fact.fact_id])
+            truth_table.insert(
+                {
+                    "fact_id": fact.fact_id,
+                    "entity": fact.entity,
+                    "attribute": fact.attribute,
+                    "score": score,
+                    "truth": bool(score >= self.threshold),
+                }
+            )
+        return workspace

@@ -1,0 +1,75 @@
+"""Human-readable reports for integration runs."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.base import SourceQualityTable
+from repro.pipeline.integrate import IntegrationResult
+
+__all__ = ["format_quality_report", "format_merged_records", "format_integration_summary"]
+
+
+def format_quality_report(
+    quality: SourceQualityTable,
+    top: int | None = None,
+    sort_by: str = "sensitivity",
+) -> str:
+    """Render a source-quality table as aligned text (paper Table 8 layout).
+
+    Parameters
+    ----------
+    quality:
+        The quality table to render.
+    top:
+        Optionally limit the output to the first ``top`` sources after sorting.
+    sort_by:
+        ``"sensitivity"`` (default, as in the paper), ``"specificity"`` or
+        ``"precision"``.
+    """
+    rows = quality.as_rows()
+    rows.sort(key=lambda row: row.get(sort_by, 0.0), reverse=True)
+    if top is not None:
+        rows = rows[:top]
+    header = ("Source", "Sensitivity", "Specificity", "Precision")
+    lines = [f"{header[0]:<24}{header[1]:>14}{header[2]:>14}{header[3]:>12}"]
+    for row in rows:
+        lines.append(
+            f"{str(row['source']):<24}"
+            f"{row['sensitivity']:>14.4f}"
+            f"{row['specificity']:>14.4f}"
+            f"{row['precision']:>12.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_merged_records(
+    merged: Mapping[str, Sequence[str]],
+    limit: int | None = 20,
+) -> str:
+    """Render merged records as ``entity: value, value, ...`` lines."""
+    lines = []
+    for index, (entity, values) in enumerate(sorted(merged.items())):
+        if limit is not None and index >= limit:
+            lines.append(f"... and {len(merged) - limit} more entities")
+            break
+        lines.append(f"{entity}: {', '.join(sorted(str(v) for v in values))}")
+    return "\n".join(lines)
+
+
+def format_integration_summary(result: IntegrationResult) -> str:
+    """One-paragraph summary of an integration run."""
+    claims = result.claims
+    lines = [
+        "Integration summary",
+        "-------------------",
+        f"entities:          {claims.num_entities if claims else 0}",
+        f"candidate facts:   {claims.num_facts if claims else 0}",
+        f"claims:            {claims.num_claims if claims else 0}",
+        f"accepted facts:    {result.num_accepted()}",
+        f"rejected facts:    {result.num_rejected()}",
+    ]
+    if result.truth_result is not None:
+        lines.append(f"method:            {result.truth_result.method}")
+        lines.append(f"fit time (s):      {result.truth_result.runtime_seconds:.3f}")
+    return "\n".join(lines)

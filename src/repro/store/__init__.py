@@ -1,0 +1,43 @@
+"""A minimal in-memory relational store.
+
+The truth-finding pipeline of the paper is expressed over relational tables:
+the *raw database* of ``(entity, attribute, source)`` triples (Table 1), the
+*fact table* (Table 2), the *claim table* (Table 3) and the *truth table*
+(Table 4).  This subpackage provides the small relational substrate those
+tables are built on: typed schemas, row storage with optional unique
+constraints, hash indexes, and the handful of query operators (selection,
+projection, equi-join, group-by) the integration pipeline needs.
+
+It is intentionally tiny — it is a substrate, not a DBMS — but it behaves like
+one: schema violations, duplicate keys and unknown columns raise library
+exceptions rather than silently corrupting state.
+"""
+
+from repro.store.schema import Column, Schema
+from repro.store.table import Table
+from repro.store.index import HashIndex
+from repro.store.query import (
+    select,
+    project,
+    equi_join,
+    group_by,
+    aggregate,
+    order_by,
+    distinct,
+)
+from repro.store.database import Database
+
+__all__ = [
+    "Column",
+    "Schema",
+    "Table",
+    "HashIndex",
+    "Database",
+    "select",
+    "project",
+    "equi_join",
+    "group_by",
+    "aggregate",
+    "order_by",
+    "distinct",
+]

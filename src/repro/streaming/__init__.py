@@ -1,0 +1,19 @@
+"""Streaming / incremental data integration (paper Section 5.4).
+
+When claims arrive online, the paper proposes reusing the source quality
+learned so far: either as priors for a cheaper re-fit on the new data only,
+or — the LTMinc mode — plugging it straight into the closed-form posterior of
+Equation (3) to score new facts with no sampling at all, with an occasional
+batch re-fit to refresh the quality estimates.
+
+* :class:`~repro.streaming.stream.ClaimStream` slices a raw database or
+  triple list into arrival-ordered batches.
+* :class:`~repro.streaming.online.OnlineTruthFinder` consumes those batches,
+  maintains the evolving source-quality estimate, scores each batch as it
+  arrives and periodically retrains.
+"""
+
+from repro.streaming.stream import ClaimBatch, ClaimStream
+from repro.streaming.online import OnlineTruthFinder, OnlineStepReport
+
+__all__ = ["ClaimBatch", "ClaimStream", "OnlineTruthFinder", "OnlineStepReport"]

@@ -1,0 +1,40 @@
+"""Dataset generators.
+
+The paper evaluates on two proprietary crawls (abebooks.com book-author data
+and a Bing movie-director feed) plus a synthetic dataset drawn from LTM's own
+generative process.  The crawls are not publicly available, so this package
+provides:
+
+* :class:`~repro.synth.ltm_generative.LTMGenerativeDataset` — the Section
+  6.1.1 synthetic generator, parameterised by expected source sensitivity and
+  specificity (used for the quality-degradation study of Figure 4);
+* :class:`~repro.synth.books.BookAuthorSimulator` — a simulated book-seller
+  crawl with the same scale and error structure (first-author-only sellers,
+  a minority of noisy sellers) as the paper's book dataset;
+* :class:`~repro.synth.movies.MovieDirectorSimulator` — a simulated movie
+  feed with the 12 sources of paper Table 8, their reported quality levels,
+  and the paper's "keep only conflicting records" filter.
+
+Every generator takes an explicit seed and returns a fully-labelled
+:class:`~repro.data.dataset.TruthDataset`, so experiments are reproducible
+and can be graded on any subset of entities.
+"""
+
+from repro.synth.names import NameGenerator
+from repro.synth.profiles import SourceProfile, SourceBehaviour
+from repro.synth.ltm_generative import LTMGenerativeConfig, generate_ltm_dataset
+from repro.synth.books import BookAuthorConfig, BookAuthorSimulator
+from repro.synth.movies import MovieDirectorConfig, MovieDirectorSimulator, PAPER_MOVIE_SOURCES
+
+__all__ = [
+    "NameGenerator",
+    "SourceProfile",
+    "SourceBehaviour",
+    "LTMGenerativeConfig",
+    "generate_ltm_dataset",
+    "BookAuthorConfig",
+    "BookAuthorSimulator",
+    "MovieDirectorConfig",
+    "MovieDirectorSimulator",
+    "PAPER_MOVIE_SOURCES",
+]

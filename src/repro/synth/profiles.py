@@ -1,0 +1,175 @@
+"""Source behaviour profiles used by the realistic dataset simulators.
+
+A :class:`SourceProfile` describes how one simulated data source reports the
+attribute values of an entity it covers: with what probability it includes
+each true value (its sensitivity) and with what probability it adds spurious
+values (its false-positive tendency).  The book and movie simulators assemble
+populations of profiles that mirror the qualitative behaviour the paper
+describes — e.g. book sellers that only list first authors, a minority of
+sellers that introduce wrong authors, and movie feeds whose two quality
+dimensions do not correlate (Table 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SourceBehaviour", "SourceProfile"]
+
+
+class SourceBehaviour(str, Enum):
+    """Qualitative behaviour classes observed in the paper's datasets."""
+
+    #: Reports every true value it knows and adds nothing (e.g. Netflix in Example 1).
+    COMPLETE = "complete"
+    #: Reports only the first (primary) value of a multi-valued attribute.
+    FIRST_VALUE_ONLY = "first_value_only"
+    #: Reports a random subset of the true values.
+    PARTIAL = "partial"
+    #: Reports true values but also injects erroneous ones (e.g. BadSource.com).
+    NOISY = "noisy"
+    #: Mostly wrong: an adversarial or broken feed (Section 7 discussion).
+    ADVERSARIAL = "adversarial"
+
+
+@dataclass(frozen=True)
+class SourceProfile:
+    """Generative behaviour of one simulated source.
+
+    Attributes
+    ----------
+    name:
+        Source name as it will appear in the raw database.
+    behaviour:
+        Qualitative behaviour class (documentation / analysis only; the
+        numeric fields drive generation).
+    sensitivity:
+        Probability of reporting each true value of a covered entity.
+    false_value_rate:
+        Expected number of spurious values injected per covered entity
+        (drawn as Poisson; small values mean high specificity).
+    first_value_bias:
+        Probability of reporting the entity's first/primary true value, used
+        to model "first author only" sellers whose sensitivity differs
+        between the primary and the remaining values.
+    coverage:
+        Probability that this source covers any given entity.
+    """
+
+    name: str
+    behaviour: SourceBehaviour
+    sensitivity: float
+    false_value_rate: float
+    first_value_bias: float
+    coverage: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("sensitivity", "first_value_bias", "coverage"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{field_name} must be in [0, 1], got {value}")
+        if self.false_value_rate < 0:
+            raise ConfigurationError("false_value_rate must be non-negative")
+
+    # -- generation ------------------------------------------------------------------
+    def reported_values(
+        self,
+        true_values: Sequence[str],
+        false_value_pool: Sequence[str],
+        rng: np.random.Generator,
+    ) -> list[str]:
+        """The attribute values this source reports for one covered entity.
+
+        Parameters
+        ----------
+        true_values:
+            The entity's true values, primary value first.
+        false_value_pool:
+            Candidate spurious values (e.g. directors of other movies).
+        rng:
+            Random generator driving the simulation.
+        """
+        reported: list[str] = []
+        for index, value in enumerate(true_values):
+            keep_probability = self.first_value_bias if index == 0 else self.sensitivity
+            if rng.random() < keep_probability:
+                reported.append(value)
+        num_false = int(rng.poisson(self.false_value_rate))
+        if num_false > 0 and len(false_value_pool) > 0:
+            picks = rng.choice(len(false_value_pool), size=min(num_false, len(false_value_pool)), replace=False)
+            for pick in np.atleast_1d(picks):
+                candidate = false_value_pool[int(pick)]
+                if candidate not in true_values and candidate not in reported:
+                    reported.append(candidate)
+        return reported
+
+    def covers(self, rng: np.random.Generator) -> bool:
+        """Whether this source covers a given entity (Bernoulli draw)."""
+        return bool(rng.random() < self.coverage)
+
+    # -- canned profile families --------------------------------------------------------
+    @classmethod
+    def complete(cls, name: str, coverage: float = 0.5) -> "SourceProfile":
+        """A high-sensitivity, high-specificity source."""
+        return cls(
+            name=name,
+            behaviour=SourceBehaviour.COMPLETE,
+            sensitivity=0.95,
+            false_value_rate=0.01,
+            first_value_bias=0.98,
+            coverage=coverage,
+        )
+
+    @classmethod
+    def first_value_only(cls, name: str, coverage: float = 0.5) -> "SourceProfile":
+        """A source that reliably reports only the primary value (low sensitivity)."""
+        return cls(
+            name=name,
+            behaviour=SourceBehaviour.FIRST_VALUE_ONLY,
+            sensitivity=0.08,
+            false_value_rate=0.01,
+            first_value_bias=0.97,
+            coverage=coverage,
+        )
+
+    @classmethod
+    def partial(cls, name: str, coverage: float = 0.5) -> "SourceProfile":
+        """A source reporting a random subset of true values."""
+        return cls(
+            name=name,
+            behaviour=SourceBehaviour.PARTIAL,
+            sensitivity=0.6,
+            false_value_rate=0.02,
+            first_value_bias=0.9,
+            coverage=coverage,
+        )
+
+    @classmethod
+    def noisy(cls, name: str, coverage: float = 0.5) -> "SourceProfile":
+        """A source that injects spurious values (low specificity)."""
+        return cls(
+            name=name,
+            behaviour=SourceBehaviour.NOISY,
+            sensitivity=0.75,
+            false_value_rate=0.5,
+            first_value_bias=0.92,
+            coverage=coverage,
+        )
+
+    @classmethod
+    def adversarial(cls, name: str, coverage: float = 0.5) -> "SourceProfile":
+        """A mostly-wrong source (Section 7's adversarial discussion)."""
+        return cls(
+            name=name,
+            behaviour=SourceBehaviour.ADVERSARIAL,
+            sensitivity=0.2,
+            false_value_rate=2.0,
+            first_value_bias=0.3,
+            coverage=coverage,
+        )

@@ -1,0 +1,87 @@
+"""Tests for the incremental source confusion counts."""
+
+import numpy as np
+import pytest
+
+from repro.core.counts import SourceCounts
+from repro.exceptions import ModelError
+
+
+class TestSourceCounts:
+    def test_from_assignment(self, paper_claims):
+        truth = np.ones(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        assert counts.total() == paper_claims.num_claims
+        # Everything sits in the truth=1 buckets.
+        assert counts.counts[:, 0, :].sum() == 0
+        assert counts.true_positives.sum() == paper_claims.num_positive_claims
+        assert counts.false_negatives.sum() == paper_claims.num_negative_claims
+
+    def test_from_assignment_all_false(self, paper_claims):
+        truth = np.zeros(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        assert counts.false_positives.sum() == paper_claims.num_positive_claims
+        assert counts.true_negatives.sum() == paper_claims.num_negative_claims
+
+    def test_wrong_truth_shape(self, paper_claims):
+        with pytest.raises(ModelError):
+            SourceCounts.from_assignment(paper_claims, np.ones(3))
+
+    def test_move_fact_round_trip(self, paper_claims):
+        truth = np.ones(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        before = counts.counts.copy()
+        sources, obs = paper_claims.claims_of(0)
+        counts.move_fact(sources, obs, old_truth=1, new_truth=0)
+        assert counts.total() == paper_claims.num_claims
+        counts.move_fact(sources, obs, old_truth=0, new_truth=1)
+        assert np.array_equal(counts.counts, before)
+
+    def test_move_fact_same_bucket_is_noop(self, paper_claims):
+        truth = np.ones(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        before = counts.counts.copy()
+        sources, obs = paper_claims.claims_of(0)
+        counts.move_fact(sources, obs, old_truth=1, new_truth=1)
+        assert np.array_equal(counts.counts, before)
+
+    def test_move_matches_rebuild(self, paper_claims):
+        truth = np.ones(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        sources, obs = paper_claims.claims_of(2)
+        counts.move_fact(sources, obs, old_truth=1, new_truth=0)
+        truth[2] = 0
+        rebuilt = SourceCounts.from_assignment(paper_claims, truth)
+        assert np.array_equal(counts.counts, rebuilt.counts)
+
+    def test_add_and_remove_fact(self, paper_claims):
+        counts = SourceCounts(paper_claims.num_sources)
+        sources, obs = paper_claims.claims_of(0)
+        counts.add_fact(sources, obs, truth=1)
+        assert counts.total() == len(sources)
+        counts.remove_fact(sources, obs, truth=1)
+        assert counts.total() == 0
+
+    def test_totals_by_truth(self, paper_claims):
+        truth = np.ones(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        totals = counts.totals_by_truth()
+        assert totals.shape == (paper_claims.num_sources, 2)
+        assert totals.sum() == paper_claims.num_claims
+
+    def test_copy_is_independent(self, paper_claims):
+        truth = np.ones(paper_claims.num_facts, dtype=np.int64)
+        counts = SourceCounts.from_assignment(paper_claims, truth)
+        clone = counts.copy()
+        clone.counts[0, 0, 0] += 5
+        assert counts.counts[0, 0, 0] != clone.counts[0, 0, 0]
+
+    def test_verify_non_negative(self):
+        counts = SourceCounts(2)
+        counts.counts[0, 0, 0] = -1
+        with pytest.raises(ModelError):
+            counts.verify_non_negative()
+
+    def test_requires_positive_sources(self):
+        with pytest.raises(ModelError):
+            SourceCounts(0)

@@ -1,0 +1,124 @@
+"""Tests for LTMinc (Equation 3) and the incremental workflow."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SourceQualityTable
+from repro.core.incremental import IncrementalLTM, posterior_truth_probability
+from repro.core.model import LatentTruthModel
+from repro.data.claim_builder import build_claim_matrix
+from repro.evaluation.metrics import evaluate_scores
+from repro.exceptions import ModelError
+
+
+def _quality(names, sens, spec):
+    return SourceQualityTable(
+        source_names=tuple(names),
+        sensitivity=np.asarray(sens, dtype=float),
+        specificity=np.asarray(spec, dtype=float),
+        precision=np.full(len(names), np.nan),
+    )
+
+
+class TestPosteriorTruthProbability:
+    def test_positive_claim_from_specific_source_raises_probability(self):
+        claims = build_claim_matrix([("e", "a", "good")])
+        scores = posterior_truth_probability(
+            claims, sensitivity=np.array([0.9]), specificity=np.array([0.99])
+        )
+        assert scores[0] > 0.9
+
+    def test_negative_claim_from_sensitive_source_lowers_probability(self):
+        # Two sources assert the entity; the highly sensitive one denies fact "b".
+        claims = build_claim_matrix([("e", "a", "sensitive"), ("e", "a", "other"), ("e", "b", "other")])
+        sens = np.zeros(claims.num_sources)
+        spec = np.zeros(claims.num_sources)
+        sens[claims.source_id("sensitive")] = 0.99
+        spec[claims.source_id("sensitive")] = 0.9
+        sens[claims.source_id("other")] = 0.5
+        spec[claims.source_id("other")] = 0.5
+        fact_b = next(f.fact_id for f in claims.facts if f.attribute == "b")
+        scores = posterior_truth_probability(claims, sens, spec)
+        assert scores[fact_b] < 0.5
+
+    def test_balanced_evidence_gives_half(self):
+        claims = build_claim_matrix([("e", "a", "s")])
+        scores = posterior_truth_probability(
+            claims, sensitivity=np.array([0.5]), specificity=np.array([0.5])
+        )
+        assert scores[0] == pytest.approx(0.5)
+
+    def test_prior_shifts_result(self):
+        claims = build_claim_matrix([("e", "a", "s")])
+        skewed = posterior_truth_probability(
+            claims,
+            sensitivity=np.array([0.5]),
+            specificity=np.array([0.5]),
+            truth_prior=(9.0, 1.0),
+        )
+        assert skewed[0] == pytest.approx(0.9)
+
+    def test_shape_validation(self):
+        claims = build_claim_matrix([("e", "a", "s")])
+        with pytest.raises(ModelError):
+            posterior_truth_probability(claims, np.array([0.5, 0.5]), np.array([0.5]))
+
+    def test_invalid_prior(self):
+        claims = build_claim_matrix([("e", "a", "s")])
+        with pytest.raises(ModelError):
+            posterior_truth_probability(
+                claims, np.array([0.5]), np.array([0.5]), truth_prior=(0.0, 1.0)
+            )
+
+
+class TestIncrementalLTM:
+    def test_from_model_requires_quality(self):
+        from repro.core.base import TruthResult
+
+        bare = TruthResult(method="x", scores=np.array([0.5]))
+        with pytest.raises(ModelError):
+            IncrementalLTM.from_model(bare)
+
+    def test_unknown_sources_use_defaults(self):
+        quality = _quality(["known"], [0.9], [0.99])
+        predictor = IncrementalLTM(quality, default_sensitivity=0.4, default_specificity=0.8)
+        claims = build_claim_matrix([("e", "a", "known"), ("e", "a", "newcomer"), ("e", "b", "newcomer")])
+        sens, spec = predictor._aligned_quality(claims)
+        newcomer = claims.source_id("newcomer")
+        assert sens[newcomer] == pytest.approx(0.4)
+        assert spec[newcomer] == pytest.approx(0.8)
+
+    def test_fit_scores_every_fact(self, paper_claims):
+        quality = _quality(
+            paper_claims.source_names,
+            [0.9] * paper_claims.num_sources,
+            [0.95] * paper_claims.num_sources,
+        )
+        result = IncrementalLTM(quality).fit(paper_claims)
+        assert result.method == "LTMinc"
+        assert result.scores.shape == (paper_claims.num_facts,)
+
+    def test_matches_batch_ltm_on_holdout(self, medium_book_dataset):
+        """The paper's LTMinc protocol: quality learned on unlabelled entities
+        predicts the labelled entities almost as well as batch LTM."""
+        training, _ = medium_book_dataset.split_labelled_entities()
+        model = LatentTruthModel(iterations=80, seed=0)
+        training_result = model.fit(training)
+
+        labelled_matrix, labels, _ = medium_book_dataset.label_subset_matrix()
+        incremental = IncrementalLTM(training_result.source_quality).fit(labelled_matrix)
+        inc_metrics = evaluate_scores(incremental.scores, labels)
+
+        batch = LatentTruthModel(iterations=80, seed=0).fit(medium_book_dataset.claims)
+        batch_metrics = evaluate_scores(batch, medium_book_dataset.labels)
+
+        assert inc_metrics.accuracy >= batch_metrics.accuracy - 0.1
+        assert inc_metrics.accuracy >= 0.85
+
+    def test_runtime_much_smaller_than_batch(self, medium_book_dataset):
+        training, _ = medium_book_dataset.split_labelled_entities()
+        model = LatentTruthModel(iterations=80, seed=0)
+        training_result = model.fit(training)
+        labelled_matrix, _, _ = medium_book_dataset.label_subset_matrix()
+        incremental = IncrementalLTM(training_result.source_quality).fit(labelled_matrix)
+        assert incremental.runtime_seconds < training_result.runtime_seconds

@@ -1,0 +1,156 @@
+"""Tests for LTMpos, likelihoods, diagnostics and the TruthMethod base types."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SourceQualityTable, TruthResult, normalise_scores, timed_fit
+from repro.core.diagnostics import assess_convergence, mean_and_confidence_interval
+from repro.core.gibbs import GibbsTrace
+from repro.core.ltmpos import PositiveOnlyLTM
+from repro.core.model import LatentTruthModel
+from repro.core.posterior import claim_log_likelihood, complete_log_likelihood, log_beta_function
+from repro.core.priors import LTMPriors
+from repro.evaluation.metrics import evaluate_scores
+from repro.exceptions import EvaluationError, ModelError
+
+
+class TestTruthResult:
+    def test_scores_must_be_1d(self):
+        with pytest.raises(EvaluationError):
+            TruthResult(method="x", scores=np.zeros((2, 2)))
+
+    def test_predictions_and_top_facts(self):
+        result = TruthResult(method="x", scores=np.array([0.9, 0.2, 0.6]))
+        assert result.predictions().tolist() == [True, False, True]
+        assert result.predictions(0.7).tolist() == [True, False, False]
+        assert result.top_facts(2) == [(0, 0.9), (2, 0.6)]
+        assert result.scores_for([2, 0]).tolist() == [0.6, 0.9]
+
+    def test_quality_table_validation(self):
+        with pytest.raises(EvaluationError):
+            SourceQualityTable(
+                source_names=("a", "b"),
+                sensitivity=np.array([0.5]),
+                specificity=np.array([0.5, 0.5]),
+                precision=np.array([0.5, 0.5]),
+            )
+
+    def test_quality_table_unknown_source(self):
+        table = SourceQualityTable(
+            source_names=("a",),
+            sensitivity=np.array([0.5]),
+            specificity=np.array([0.5]),
+            precision=np.array([0.5]),
+        )
+        with pytest.raises(EvaluationError):
+            table.of("missing")
+
+    def test_normalise_scores(self):
+        assert normalise_scores(np.array([2.0, 1.0])).tolist() == [1.0, 0.5]
+        assert normalise_scores(np.array([0.0, 0.0])).tolist() == [0.0, 0.0]
+        assert normalise_scores(np.array([])).size == 0
+
+    def test_timed_fit(self, paper_claims):
+        result, runtime = timed_fit(LatentTruthModel(iterations=20, seed=0), paper_claims)
+        assert runtime == result.runtime_seconds > 0
+
+
+class TestPositiveOnlyLTM:
+    def test_predicts_everything_true(self, medium_book_dataset):
+        """Without negative claims LTMpos collapses to all-true (paper Table 7)."""
+        result = PositiveOnlyLTM(iterations=50, seed=0).fit(medium_book_dataset.claims)
+        metrics = evaluate_scores(result, medium_book_dataset.labels)
+        assert metrics.recall == pytest.approx(1.0)
+        assert metrics.false_positive_rate > 0.9
+
+    def test_records_dropped_negative_claims(self, paper_claims):
+        result = PositiveOnlyLTM(iterations=20, seed=0).fit(paper_claims)
+        assert result.extras["dropped_negative_claims"] == paper_claims.num_negative_claims
+        assert result.method == "LTMpos"
+
+
+class TestLikelihoods:
+    def test_log_beta_function(self):
+        assert log_beta_function(1.0, 1.0) == pytest.approx(0.0)
+        assert log_beta_function(2.0, 2.0) == pytest.approx(np.log(1 / 6))
+
+    def test_claim_log_likelihood_mixture(self):
+        # theta=1 reduces to the sensitivity; theta=0 to the false-positive rate.
+        assert claim_log_likelihood(1, 1.0, 0.1, 0.8) == pytest.approx(np.log(0.8))
+        assert claim_log_likelihood(1, 0.0, 0.1, 0.8) == pytest.approx(np.log(0.1))
+        assert claim_log_likelihood(0, 0.0, 0.1, 0.8) == pytest.approx(np.log(0.9))
+
+    def test_claim_log_likelihood_invalid_theta(self):
+        with pytest.raises(ModelError):
+            claim_log_likelihood(1, 1.5, 0.1, 0.8)
+
+    def test_complete_log_likelihood_prefers_consistent_truth(self, paper_dataset):
+        claims = paper_dataset.claims
+        truth = np.array([1 if paper_dataset.labels[f] else 0 for f in range(claims.num_facts)])
+        theta = np.full(claims.num_facts, 0.5)
+        phi0 = np.full(claims.num_sources, 0.1)
+        phi1 = np.full(claims.num_sources, 0.8)
+        priors = LTMPriors.uniform()
+        good = complete_log_likelihood(claims, truth, theta, phi0, phi1, priors)
+        flipped = complete_log_likelihood(claims, 1 - truth, theta, phi0, phi1, priors)
+        assert good > flipped
+
+    def test_complete_log_likelihood_validation(self, paper_claims):
+        n_f, n_s = paper_claims.num_facts, paper_claims.num_sources
+        with pytest.raises(ModelError):
+            complete_log_likelihood(
+                paper_claims, np.zeros(3), np.full(n_f, 0.5), np.full(n_s, 0.1), np.full(n_s, 0.8)
+            )
+        with pytest.raises(ModelError):
+            complete_log_likelihood(
+                paper_claims,
+                np.zeros(n_f, dtype=int),
+                np.full(n_f, 0.5),
+                np.full(n_s, 0.0),
+                np.full(n_s, 0.8),
+            )
+
+
+class TestDiagnostics:
+    def test_mean_and_confidence_interval(self):
+        mean, low, high = mean_and_confidence_interval([0.8, 0.9, 1.0])
+        assert mean == pytest.approx(0.9)
+        assert low < mean < high
+
+    def test_single_value_interval_collapses(self):
+        mean, low, high = mean_and_confidence_interval([0.7])
+        assert mean == low == high == pytest.approx(0.7)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(EvaluationError):
+            mean_and_confidence_interval([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(EvaluationError):
+            mean_and_confidence_interval([0.5, 0.6], confidence=1.5)
+
+    def test_assess_convergence(self):
+        trace = GibbsTrace(flips_per_iteration=[50, 30, 10, 2, 1, 1, 0, 1, 0, 1])
+        report = assess_convergence(trace, num_facts=100, threshold=0.02, window=5)
+        assert report.converged
+        assert report.iterations == 10
+
+    def test_assess_convergence_not_converged(self):
+        trace = GibbsTrace(flips_per_iteration=[50, 48, 51, 49, 50])
+        report = assess_convergence(trace, num_facts=100, threshold=0.02, window=5)
+        assert not report.converged
+
+    def test_assess_convergence_empty_trace(self):
+        report = assess_convergence(GibbsTrace(), num_facts=10)
+        assert not report.converged
+
+    def test_assess_convergence_invalid_facts(self):
+        with pytest.raises(EvaluationError):
+            assess_convergence(GibbsTrace(), num_facts=0)
+
+    def test_sampler_converges_quickly_on_book_data(self, medium_book_dataset):
+        """Paper Section 6.3.1: LTM converges within ~50 iterations."""
+        result = LatentTruthModel(iterations=50, seed=0).fit(medium_book_dataset.claims)
+        trace = result.extras["trace"]
+        report = assess_convergence(trace, medium_book_dataset.claims.num_facts, threshold=0.1)
+        assert report.converged

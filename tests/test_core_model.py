@@ -1,0 +1,136 @@
+"""Tests for the LatentTruthModel public API and quality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SourceQualityTable
+from repro.core.model import LatentTruthModel
+from repro.core.priors import BetaPrior, LTMPriors
+from repro.core.quality import estimate_source_quality, expected_confusion_counts
+from repro.evaluation.metrics import evaluate_scores
+from repro.exceptions import ModelError, NotFittedError
+
+
+class TestLatentTruthModel:
+    def test_result_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            LatentTruthModel().result()
+
+    def test_fit_returns_scores_and_quality(self, paper_claims):
+        result = LatentTruthModel(iterations=50, seed=0).fit(paper_claims)
+        assert result.method == "LTM"
+        assert result.num_facts == paper_claims.num_facts
+        assert isinstance(result.source_quality, SourceQualityTable)
+        assert result.runtime_seconds > 0
+        assert "trace" in result.extras
+
+    def test_reproducibility(self, paper_claims):
+        a = LatentTruthModel(iterations=50, seed=11).fit(paper_claims)
+        b = LatentTruthModel(iterations=50, seed=11).fit(paper_claims)
+        assert np.array_equal(a.scores, b.scores)
+
+    def test_resolved_priors_adaptive_by_default(self, paper_claims):
+        model = LatentTruthModel()
+        priors = model.resolved_priors(paper_claims)
+        assert priors.false_positive.mean == pytest.approx(0.01)
+
+    def test_explicit_priors_are_used(self, paper_claims):
+        priors = LTMPriors(false_positive=BetaPrior(1.0, 99.0))
+        model = LatentTruthModel(priors=priors)
+        assert model.resolved_priors(paper_claims) is priors
+
+    def test_accuracy_on_book_data(self, medium_book_dataset):
+        result = LatentTruthModel(iterations=80, seed=0).fit(medium_book_dataset.claims)
+        metrics = evaluate_scores(result, medium_book_dataset.labels)
+        assert metrics.accuracy >= 0.9
+        assert metrics.false_positive_rate <= 0.1
+
+    def test_beats_voting_on_book_data(self, medium_book_dataset):
+        from repro.baselines.voting import Voting
+
+        ltm = LatentTruthModel(iterations=80, seed=0).fit(medium_book_dataset.claims)
+        voting = Voting().fit(medium_book_dataset.claims)
+        ltm_acc = evaluate_scores(ltm, medium_book_dataset.labels).accuracy
+        voting_acc = evaluate_scores(voting, medium_book_dataset.labels).accuracy
+        assert ltm_acc > voting_acc
+
+    def test_fit_with_checkpoints(self, paper_claims):
+        model = LatentTruthModel(iterations=40, burn_in=5, thin=1, seed=0)
+        result, snapshots = model.fit_with_checkpoints(paper_claims, checkpoints=[10, 30])
+        assert set(snapshots) == {10, 30}
+        assert result.num_facts == paper_claims.num_facts
+
+    def test_learned_quality_priors(self, paper_claims):
+        model = LatentTruthModel(iterations=40, seed=0)
+        model.fit(paper_claims)
+        updated = model.learned_quality_priors(paper_claims)
+        assert set(updated.per_source) == set(paper_claims.source_names)
+
+    def test_predictions_threshold(self, paper_claims):
+        result = LatentTruthModel(iterations=40, seed=0).fit(paper_claims)
+        predictions = result.predictions(0.5)
+        assert predictions.dtype == bool
+        assert predictions.shape == result.scores.shape
+
+
+class TestSourceQualityEstimation:
+    def test_expected_counts_sum_to_claims(self, paper_claims):
+        scores = np.full(paper_claims.num_facts, 0.7)
+        expected = expected_confusion_counts(paper_claims, scores)
+        assert expected.shape == (paper_claims.num_sources, 2, 2)
+        assert expected.sum() == pytest.approx(paper_claims.num_claims)
+
+    def test_expected_counts_shape_mismatch(self, paper_claims):
+        with pytest.raises(ModelError):
+            expected_confusion_counts(paper_claims, np.ones(3))
+
+    def test_degenerate_scores_give_hard_counts(self, paper_claims):
+        scores = np.ones(paper_claims.num_facts)
+        expected = expected_confusion_counts(paper_claims, scores)
+        assert expected[:, 0, :].sum() == pytest.approx(0.0)
+
+    def test_quality_in_unit_interval(self, paper_claims):
+        scores = np.linspace(0.1, 0.9, paper_claims.num_facts)
+        quality = estimate_source_quality(paper_claims, scores)
+        for arr in (quality.sensitivity, quality.specificity, quality.precision):
+            assert np.all(arr >= 0.0) and np.all(arr <= 1.0)
+
+    def test_quality_reflects_known_truth(self, paper_dataset):
+        # Using the ground truth of Tables 1-4 as "scores", the MAP estimates
+        # (with a weak prior) must order the sources as the paper's Table 6:
+        # IMDB most sensitive, Netflix least sensitive, BadSource least specific.
+        claims = paper_dataset.claims
+        scores = np.zeros(claims.num_facts)
+        for fact_id, value in paper_dataset.labels.items():
+            scores[fact_id] = 1.0 if value else 0.0
+        weak = LTMPriors.uniform()
+        quality = estimate_source_quality(claims, scores, weak)
+        by_name = {name: i for i, name in enumerate(quality.source_names)}
+        assert quality.sensitivity[by_name["IMDB"]] > quality.sensitivity[by_name["Netflix"]]
+        assert quality.specificity[by_name["BadSource.com"]] < quality.specificity[by_name["IMDB"]]
+        assert quality.precision[by_name["BadSource.com"]] < quality.precision[by_name["Netflix"]]
+
+    def test_quality_table_helpers(self, paper_claims):
+        scores = np.full(paper_claims.num_facts, 0.5)
+        quality = estimate_source_quality(paper_claims, scores)
+        ranked = quality.ranked_by_sensitivity()
+        assert len(ranked) == paper_claims.num_sources
+        assert quality.of(paper_claims.source_names[0])["sensitivity"] == pytest.approx(
+            float(quality.sensitivity[0])
+        )
+        rows = quality.as_rows()
+        assert len(rows) == paper_claims.num_sources
+        assert np.allclose(quality.false_positive_rate, 1.0 - quality.specificity)
+        assert np.allclose(quality.false_negative_rate, 1.0 - quality.sensitivity)
+
+    def test_quality_recovers_generating_parameters(self, small_synthetic):
+        dataset, params = small_synthetic
+        result = LatentTruthModel(iterations=60, seed=1).fit(dataset.claims)
+        quality = result.source_quality
+        # Correlation between true and estimated sensitivity should be clearly positive.
+        true_sens = params["sensitivity"]
+        corr = np.corrcoef(true_sens, quality.sensitivity)[0, 1]
+        assert corr > 0.5
+        # And accuracy of inferred truth should be high.
+        metrics = evaluate_scores(result, dataset.labels)
+        assert metrics.accuracy > 0.85

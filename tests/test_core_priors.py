@@ -1,0 +1,118 @@
+"""Tests for Beta priors and the LTM prior specification."""
+
+import numpy as np
+import pytest
+
+from repro.core.priors import BetaPrior, LTMPriors
+from repro.data.claim_builder import build_claim_matrix
+from repro.exceptions import PriorError
+
+
+class TestBetaPrior:
+    def test_mean_and_total(self):
+        prior = BetaPrior(10.0, 90.0)
+        assert prior.mean == pytest.approx(0.1)
+        assert prior.total == pytest.approx(100.0)
+
+    def test_as_array_indexed_by_observation(self):
+        prior = BetaPrior(positive=3.0, negative=7.0)
+        assert prior.as_array().tolist() == [7.0, 3.0]
+
+    def test_from_mean(self):
+        prior = BetaPrior.from_mean(0.2, 50.0)
+        assert prior.positive == pytest.approx(10.0)
+        assert prior.negative == pytest.approx(40.0)
+
+    def test_from_mean_invalid(self):
+        with pytest.raises(PriorError):
+            BetaPrior.from_mean(1.5, 10.0)
+        with pytest.raises(PriorError):
+            BetaPrior.from_mean(0.5, -1.0)
+
+    def test_non_positive_counts_rejected(self):
+        with pytest.raises(PriorError):
+            BetaPrior(0.0, 1.0)
+        with pytest.raises(PriorError):
+            BetaPrior(1.0, -2.0)
+
+
+class TestLTMPriors:
+    def test_paper_defaults(self):
+        book = LTMPriors.paper_book_defaults()
+        assert (book.false_positive.positive, book.false_positive.negative) == (10.0, 1000.0)
+        movie = LTMPriors.paper_movie_defaults()
+        assert (movie.false_positive.positive, movie.false_positive.negative) == (100.0, 10000.0)
+        for priors in (book, movie):
+            assert priors.sensitivity.mean == pytest.approx(0.5)
+            assert priors.truth.mean == pytest.approx(0.5)
+
+    def test_beta_array_order(self):
+        priors = LTMPriors(truth=BetaPrior(positive=3.0, negative=7.0))
+        assert priors.beta_array().tolist() == [7.0, 3.0]
+
+    def test_alpha_array_layout(self):
+        priors = LTMPriors(
+            false_positive=BetaPrior(positive=2.0, negative=8.0),
+            sensitivity=BetaPrior(positive=6.0, negative=4.0),
+        )
+        alpha = priors.alpha_array(["s1", "s2"])
+        assert alpha.shape == (2, 2, 2)
+        # alpha[s, 0, 1] = prior false-positive count, alpha[s, 0, 0] = true-negative count.
+        assert alpha[0, 0, 1] == 2.0 and alpha[0, 0, 0] == 8.0
+        # alpha[s, 1, 1] = prior true-positive count, alpha[s, 1, 0] = false-negative count.
+        assert alpha[1, 1, 1] == 6.0 and alpha[1, 1, 0] == 4.0
+
+    def test_per_source_override(self):
+        priors = LTMPriors().with_source_prior(
+            "trusted", BetaPrior(1.0, 500.0), BetaPrior(90.0, 10.0)
+        )
+        alpha = priors.alpha_array(["other", "trusted"])
+        assert alpha[1, 0, 0] == 500.0
+        assert alpha[1, 1, 1] == 90.0
+        # Other sources keep the global prior.
+        assert alpha[0, 1, 1] == priors.sensitivity.positive
+
+    def test_per_source_override_ignores_unknown_sources(self):
+        priors = LTMPriors().with_source_prior("ghost", BetaPrior(1, 2), BetaPrior(3, 4))
+        alpha = priors.alpha_array(["real"])
+        assert alpha[0, 0, 1] == priors.false_positive.positive
+
+    def test_scaled_to(self):
+        priors = LTMPriors.scaled_to(2000, specificity_mean=0.99)
+        assert priors.false_positive.total == pytest.approx(2000.0)
+        assert priors.false_positive.mean == pytest.approx(0.01)
+
+    def test_adaptive_scales_with_claims_per_source(self):
+        claims = build_claim_matrix(
+            [("e%d" % i, "a%d" % i, "s%d" % (i % 3)) for i in range(30)]
+        )
+        priors = LTMPriors.adaptive(claims, strength_factor=0.5)
+        expected_strength = max(10.0, 0.5 * claims.num_claims / claims.num_sources)
+        assert priors.false_positive.total == pytest.approx(expected_strength)
+
+    def test_adaptive_has_floor(self):
+        claims = build_claim_matrix([("e", "a", "s")])
+        priors = LTMPriors.adaptive(claims)
+        assert priors.false_positive.total >= 10.0
+
+    def test_with_learned_quality_array(self):
+        priors = LTMPriors()
+        counts = np.zeros((2, 2, 2))
+        counts[0] = [[30.0, 2.0], [5.0, 40.0]]  # [[TN, FP], [FN, TP]]
+        updated = priors.with_learned_quality(["s1", "s2"], counts)
+        fp_prior, sens_prior = updated.per_source["s1"]
+        assert fp_prior.positive == pytest.approx(priors.false_positive.positive + 2.0)
+        assert fp_prior.negative == pytest.approx(priors.false_positive.negative + 30.0)
+        assert sens_prior.positive == pytest.approx(priors.sensitivity.positive + 40.0)
+        assert sens_prior.negative == pytest.approx(priors.sensitivity.negative + 5.0)
+
+    def test_with_learned_quality_mapping(self):
+        priors = LTMPriors()
+        updated = priors.with_learned_quality(
+            ["s1"], {"s1": np.array([[10.0, 1.0], [2.0, 20.0]])}
+        )
+        assert "s1" in updated.per_source
+
+    def test_with_learned_quality_shape_mismatch(self):
+        with pytest.raises(PriorError):
+            LTMPriors().with_learned_quality(["s1", "s2"], np.zeros((1, 2, 2)))

@@ -1,0 +1,121 @@
+"""Tests for claim construction (Definitions 2-3, paper Tables 2-3)."""
+
+import numpy as np
+import pytest
+
+from repro.data.claim_builder import ClaimTableBuilder, build_claim_matrix, build_dataset
+from repro.data.raw import RawDatabase
+from repro.exceptions import EmptyDatasetError
+
+
+class TestFactTable:
+    def test_facts_are_distinct_entity_attribute_pairs(self, paper_claims):
+        pairs = {(f.entity, f.attribute) for f in paper_claims.facts}
+        assert len(pairs) == paper_claims.num_facts == 5
+
+    def test_fact_ids_are_dense(self, paper_claims):
+        assert [f.fact_id for f in paper_claims.facts] == list(range(5))
+
+    def test_fact_table_relational_view(self, paper_builder):
+        table = paper_builder.fact_table()
+        assert len(table) == 5
+        assert set(table.column_names) == {"fact_id", "entity", "attribute"}
+
+
+class TestClaimGeneration:
+    """The three claim-generation rules of Definition 3."""
+
+    def test_total_claim_count_matches_paper_table3(self, paper_claims):
+        # Table 3: 4 facts x 3 Harry Potter sources + 1 Hulu claim = 13 claims.
+        assert paper_claims.num_claims == 13
+
+    def test_positive_claims_match_raw_assertions(self, paper_claims, paper_raw):
+        assert paper_claims.num_positive_claims == len(paper_raw)
+
+    def test_rule1_positive_claim(self, paper_claims):
+        # IMDB asserted Rupert Grint: positive claim.
+        fact_id = next(
+            f.fact_id for f in paper_claims.facts if f.attribute == "Rupert Grint"
+        )
+        positive = paper_claims.positive_sources_of(fact_id)
+        assert paper_claims.source_id("IMDB") in positive
+
+    def test_rule2_negative_claim(self, paper_claims):
+        # Netflix asserted Harry Potter (Daniel) but not Emma Watson: negative claim.
+        fact_id = next(
+            f.fact_id for f in paper_claims.facts if f.attribute == "Emma Watson"
+        )
+        negative = paper_claims.negative_sources_of(fact_id)
+        assert paper_claims.source_id("Netflix") in negative
+
+    def test_rule3_no_claim_for_uninvolved_source(self, paper_claims):
+        # Hulu.com asserted nothing about Harry Potter: no claim at all for its facts.
+        hulu = paper_claims.source_id("Hulu.com")
+        for fact in paper_claims.facts:
+            if fact.entity != "Harry Potter":
+                continue
+            sources, _ = paper_claims.claims_of(fact.fact_id)
+            assert hulu not in sources
+
+    def test_one_claim_per_fact_source_pair(self, paper_claims):
+        pairs = list(zip(paper_claims.claim_fact.tolist(), paper_claims.claim_source.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_claim_table_relational_view(self, paper_builder):
+        table = paper_builder.claim_table()
+        assert len(table) == 13
+        true_count = sum(1 for row in table if row["observation"])
+        assert true_count == 8
+
+    def test_duplicate_triples_do_not_duplicate_claims(self):
+        raw = RawDatabase(strict=False)
+        raw.extend([("e", "a", "s"), ("e", "a", "s"), ("e", "b", "s2")])
+        claims = ClaimTableBuilder(raw).build()
+        assert claims.num_claims == 4  # 2 positive + 2 negative
+
+    def test_empty_raw_database_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            ClaimTableBuilder(RawDatabase())
+
+
+class TestBuildHelpers:
+    def test_build_claim_matrix_from_tuples(self):
+        claims = build_claim_matrix([("e", "a", "s1"), ("e", "b", "s2")])
+        assert claims.num_facts == 2
+        assert claims.num_claims == 4
+
+    def test_build_claim_matrix_from_raw(self, paper_raw):
+        claims = build_claim_matrix(paper_raw)
+        assert claims.num_facts == 5
+
+    def test_build_dataset_labels(self, paper_triples):
+        dataset = build_dataset(
+            paper_triples,
+            truth={("Harry Potter", "Johnny Depp"): False, ("Harry Potter", "Emma Watson"): True},
+        )
+        assert dataset.num_labelled == 2
+        values = {dataset.claims.fact(f).attribute: v for f, v in dataset.labels.items()}
+        assert values == {"Johnny Depp": False, "Emma Watson": True}
+
+    def test_build_dataset_ignores_unknown_pairs(self, paper_triples):
+        dataset = build_dataset(paper_triples, truth={("No Movie", "Nobody"): True})
+        assert dataset.num_labelled == 0
+
+    def test_build_dataset_restricts_to_labelled_entities(self, paper_triples):
+        dataset = build_dataset(
+            paper_triples,
+            truth={("Harry Potter", "Johnny Depp"): False, ("Pirates 4", "Johnny Depp"): True},
+            labelled_entities=["Pirates 4"],
+        )
+        assert dataset.num_labelled == 1
+
+    def test_builder_fact_ids_mapping(self, paper_builder):
+        paper_builder.build()
+        mapping = paper_builder.fact_ids
+        assert mapping[("Pirates 4", "Johnny Depp")] == 4
+
+    def test_build_is_idempotent(self, paper_builder):
+        first = paper_builder.build()
+        second = paper_builder.build()
+        assert first.num_claims == second.num_claims
+        assert np.array_equal(first.claim_fact, second.claim_fact)

@@ -1,0 +1,191 @@
+"""Tests for ClaimMatrix and TruthDataset."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import ClaimMatrix, TruthDataset
+from repro.data.records import Fact
+from repro.exceptions import DataModelError, EmptyDatasetError, UnknownFactError
+
+
+def _tiny_matrix() -> ClaimMatrix:
+    facts = [
+        Fact(0, "e1", "a"),
+        Fact(1, "e1", "b"),
+        Fact(2, "e2", "c"),
+    ]
+    return ClaimMatrix(
+        facts=facts,
+        source_names=["s1", "s2"],
+        claim_fact=[0, 0, 1, 2],
+        claim_source=[0, 1, 0, 1],
+        claim_obs=[True, False, True, True],
+    )
+
+
+class TestClaimMatrix:
+    def test_sizes(self):
+        matrix = _tiny_matrix()
+        assert matrix.num_facts == 3
+        assert matrix.num_sources == 2
+        assert matrix.num_claims == 4
+        assert matrix.num_entities == 2
+        assert matrix.num_positive_claims == 3
+        assert matrix.num_negative_claims == 1
+
+    def test_claims_of(self):
+        matrix = _tiny_matrix()
+        sources, obs = matrix.claims_of(0)
+        assert sorted(sources.tolist()) == [0, 1]
+        assert obs.sum() == 1
+
+    def test_claims_of_out_of_range(self):
+        with pytest.raises(UnknownFactError):
+            _tiny_matrix().claims_of(99)
+
+    def test_positive_and_negative_sources(self):
+        matrix = _tiny_matrix()
+        assert matrix.positive_sources_of(0).tolist() == [0]
+        assert matrix.negative_sources_of(0).tolist() == [1]
+
+    def test_fact_lookup(self):
+        matrix = _tiny_matrix()
+        assert matrix.fact(2).entity == "e2"
+        with pytest.raises(UnknownFactError):
+            matrix.fact(-1)
+
+    def test_entity_groups(self):
+        matrix = _tiny_matrix()
+        assert matrix.facts_of_entity("e1") == [0, 1]
+        assert matrix.entity_groups == {"e1": [0, 1], "e2": [2]}
+
+    def test_per_fact_counts(self):
+        matrix = _tiny_matrix()
+        assert matrix.positive_counts_per_fact().tolist() == [1, 1, 1]
+        assert matrix.claim_counts_per_fact().tolist() == [2, 1, 1]
+
+    def test_per_source_counts(self):
+        matrix = _tiny_matrix()
+        assert matrix.positive_counts_per_source().tolist() == [2, 1]
+        assert matrix.claim_counts_per_source().tolist() == [2, 2]
+
+    def test_source_records(self):
+        matrix = _tiny_matrix()
+        records = matrix.source_records()
+        assert records[0].name == "s1"
+        assert records[0].num_positive_claims == 2
+        assert records[1].num_negative_claims == 1
+        assert records[0].num_claims == 2
+
+    def test_source_id(self):
+        matrix = _tiny_matrix()
+        assert matrix.source_id("s2") == 1
+        with pytest.raises(DataModelError):
+            matrix.source_id("unknown")
+
+    def test_claims_sorted_by_fact(self):
+        matrix = _tiny_matrix()
+        assert np.all(np.diff(matrix.claim_fact) >= 0)
+
+    def test_restrict_to_facts(self):
+        matrix = _tiny_matrix()
+        restricted = matrix.restrict_to_facts([1, 2])
+        assert restricted.num_facts == 2
+        assert restricted.num_claims == 2
+        assert restricted.source_names == matrix.source_names
+        assert [f.attribute for f in restricted.facts] == ["b", "c"]
+
+    def test_restrict_to_facts_invalid(self):
+        with pytest.raises(UnknownFactError):
+            _tiny_matrix().restrict_to_facts([7])
+
+    def test_restrict_to_entities(self):
+        restricted = _tiny_matrix().restrict_to_entities(["e2"])
+        assert restricted.num_facts == 1
+        assert restricted.facts[0].entity == "e2"
+
+    def test_positive_only(self):
+        positive = _tiny_matrix().positive_only()
+        assert positive.num_claims == 3
+        assert positive.num_negative_claims == 0
+        assert positive.num_facts == 3  # facts are preserved even if unclaimed
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(DataModelError):
+            ClaimMatrix(
+                facts=[Fact(0, "e", "a")],
+                source_names=["s"],
+                claim_fact=[0, 0],
+                claim_source=[0],
+                claim_obs=[True],
+            )
+
+    def test_non_dense_fact_ids_rejected(self):
+        with pytest.raises(DataModelError):
+            ClaimMatrix(
+                facts=[Fact(1, "e", "a")],
+                source_names=["s"],
+                claim_fact=[0],
+                claim_source=[0],
+                claim_obs=[True],
+            )
+
+    def test_out_of_range_source_rejected(self):
+        with pytest.raises(DataModelError):
+            ClaimMatrix(
+                facts=[Fact(0, "e", "a")],
+                source_names=["s"],
+                claim_fact=[0],
+                claim_source=[5],
+                claim_obs=[True],
+            )
+
+    def test_summary(self):
+        summary = _tiny_matrix().summary()
+        assert summary["facts"] == 3
+        assert summary["claims"] == 4
+
+
+class TestTruthDataset:
+    def test_label_validation(self):
+        matrix = _tiny_matrix()
+        with pytest.raises(UnknownFactError):
+            TruthDataset(name="d", claims=matrix, labels={99: True})
+
+    def test_labels_array(self):
+        dataset = TruthDataset(name="d", claims=_tiny_matrix(), labels={0: True, 2: False})
+        assert dataset.labelled_fact_ids == [0, 2]
+        assert dataset.labels_array().tolist() == [True, False]
+        assert dataset.labels_array([2]).tolist() == [False]
+
+    def test_labels_array_missing(self):
+        dataset = TruthDataset(name="d", claims=_tiny_matrix(), labels={0: True})
+        with pytest.raises(UnknownFactError):
+            dataset.labels_array([1])
+
+    def test_require_labels(self):
+        dataset = TruthDataset(name="d", claims=_tiny_matrix())
+        with pytest.raises(EmptyDatasetError):
+            dataset.require_labels()
+
+    def test_split_labelled_entities(self):
+        dataset = TruthDataset(
+            name="d", claims=_tiny_matrix(), labels={2: True}, labelled_entities=("e2",)
+        )
+        unlabelled, labelled = dataset.split_labelled_entities()
+        assert {f.entity for f in unlabelled.facts} == {"e1"}
+        assert {f.entity for f in labelled.facts} == {"e2"}
+
+    def test_label_subset_matrix(self):
+        dataset = TruthDataset(
+            name="d", claims=_tiny_matrix(), labels={0: True, 1: False}, labelled_entities=("e1",)
+        )
+        matrix, labels, fact_ids = dataset.label_subset_matrix()
+        assert matrix.num_facts == 2
+        assert labels.tolist() == [True, False]
+        assert fact_ids == [0, 1]
+
+    def test_summary_counts_labelled_entities(self, small_book_dataset):
+        summary = small_book_dataset.summary()
+        assert summary["labelled_facts"] == small_book_dataset.num_labelled
+        assert summary["labelled_entities"] > 0

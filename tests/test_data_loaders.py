@@ -1,0 +1,75 @@
+"""Round-trip tests for dataset serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.data.loaders import (
+    load_dataset_json,
+    load_labels_csv,
+    load_triples_csv,
+    save_dataset_json,
+    save_labels_csv,
+    save_triples_csv,
+)
+from repro.exceptions import DataModelError
+
+
+class TestTripleCsv:
+    def test_round_trip(self, paper_raw, tmp_path):
+        path = tmp_path / "triples.tsv"
+        count = save_triples_csv(paper_raw, path)
+        assert count == len(paper_raw)
+        loaded = load_triples_csv(path)
+        assert len(loaded) == len(paper_raw)
+        assert set(loaded.sources) == set(paper_raw.sources)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("")
+        with pytest.raises(DataModelError):
+            load_triples_csv(path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a\tb\tc\n1\t2\t3\n")
+        with pytest.raises(DataModelError):
+            load_triples_csv(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("entity\tattribute\tsource\nonly-two\tcolumns\n")
+        with pytest.raises(DataModelError):
+            load_triples_csv(path)
+
+
+class TestLabelCsv:
+    def test_round_trip(self, tmp_path):
+        labels = {("book1", "alice"): True, ("book1", "bob"): False}
+        path = tmp_path / "labels.tsv"
+        assert save_labels_csv(labels, path) == 2
+        loaded = load_labels_csv(path)
+        assert loaded == labels
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("")
+        with pytest.raises(DataModelError):
+            load_labels_csv(path)
+
+
+class TestDatasetJson:
+    def test_round_trip(self, paper_dataset, tmp_path):
+        path = tmp_path / "dataset.json"
+        save_dataset_json(paper_dataset, path)
+        loaded = load_dataset_json(path)
+        assert loaded.name == paper_dataset.name
+        assert loaded.claims.num_facts == paper_dataset.claims.num_facts
+        assert loaded.claims.num_claims == paper_dataset.claims.num_claims
+        assert loaded.labels == paper_dataset.labels
+        assert np.array_equal(loaded.claims.claim_obs, paper_dataset.claims.claim_obs)
+
+    def test_missing_field_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{\"name\": \"x\"}")
+        with pytest.raises(DataModelError):
+            load_dataset_json(path)

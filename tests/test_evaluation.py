@@ -1,0 +1,246 @@
+"""Tests for the evaluation harness: confusion, metrics, ROC, thresholds, comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import Voting
+from repro.core.base import TruthResult
+from repro.core.model import LatentTruthModel
+from repro.evaluation import (
+    ComparisonTable,
+    auc_score,
+    best_threshold,
+    compare_methods,
+    evaluate_predictions,
+    evaluate_scores,
+    linear_fit,
+    roc_curve,
+    source_confusion_matrices,
+    source_quality_from_truth,
+    threshold_sweep,
+)
+from repro.evaluation.confusion import ConfusionMatrix
+from repro.evaluation.protocol import evaluate_incremental_ltm, evaluate_method_on_dataset
+from repro.evaluation.scaling import entity_subsets, runtime_scaling_study
+from repro.exceptions import EvaluationError, MissingGroundTruthError
+
+
+class TestConfusionMatrix:
+    def test_paper_table6_values(self, paper_dataset):
+        """The worked example of paper Table 6: IMDB / Netflix / BadSource.com."""
+        matrices = source_confusion_matrices(paper_dataset.claims, paper_dataset.labels)
+
+        imdb = matrices["IMDB"]
+        assert (imdb.true_positives, imdb.false_positives, imdb.false_negatives, imdb.true_negatives) == (3, 0, 0, 1)
+        assert imdb.precision == 1.0 and imdb.accuracy == 1.0
+        assert imdb.sensitivity == 1.0 and imdb.specificity == 1.0
+
+        netflix = matrices["Netflix"]
+        assert (netflix.true_positives, netflix.false_negatives) == (1, 2)
+        assert netflix.precision == 1.0
+        assert netflix.accuracy == pytest.approx(0.5)
+        assert netflix.sensitivity == pytest.approx(1 / 3)
+        assert netflix.specificity == 1.0
+
+        bad = matrices["BadSource.com"]
+        assert (bad.true_positives, bad.false_positives, bad.false_negatives, bad.true_negatives) == (2, 1, 1, 0)
+        assert bad.precision == pytest.approx(2 / 3)
+        assert bad.accuracy == pytest.approx(0.5)
+        assert bad.sensitivity == pytest.approx(2 / 3)
+        assert bad.specificity == 0.0
+
+    def test_requires_labels(self, paper_claims):
+        with pytest.raises(MissingGroundTruthError):
+            source_confusion_matrices(paper_claims, {})
+
+    def test_quality_table_from_truth(self, paper_dataset):
+        table = source_quality_from_truth(paper_dataset.claims, paper_dataset.labels)
+        imdb = table.of("IMDB")
+        assert imdb["sensitivity"] == 1.0 and imdb["specificity"] == 1.0
+
+    def test_derived_measures_edge_cases(self):
+        empty = ConfusionMatrix(0, 0, 0, 0)
+        # With no graded claims the error-rate measures default to "no errors".
+        assert empty.precision == 1.0
+        assert empty.sensitivity == 1.0
+        assert np.isnan(empty.accuracy)
+        assert empty.f1 == 1.0
+        combined = empty + ConfusionMatrix(1, 2, 3, 4)
+        assert combined.total == 10
+        assert set(combined.as_dict()) >= {"TP", "precision", "f1"}
+
+
+class TestMetrics:
+    def test_evaluate_predictions(self):
+        metrics = evaluate_predictions([True, True, False, False], [True, False, True, False])
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.accuracy == pytest.approx(0.5)
+        assert metrics.false_positive_rate == pytest.approx(0.5)
+        assert metrics.support == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(EvaluationError):
+            evaluate_predictions([True], [True, False])
+
+    def test_empty_rejected(self):
+        with pytest.raises(MissingGroundTruthError):
+            evaluate_predictions([], [])
+
+    def test_evaluate_scores_with_mapping(self):
+        scores = np.array([0.9, 0.4, 0.8, 0.1])
+        labels = {0: True, 1: True, 2: False, 3: False}
+        metrics = evaluate_scores(scores, labels)
+        assert metrics.support == 4
+        assert metrics.recall == pytest.approx(0.5)
+
+    def test_evaluate_scores_with_result(self, paper_dataset):
+        result = TruthResult(method="x", scores=np.array([1.0, 1.0, 1.0, 0.0, 1.0]))
+        metrics = evaluate_scores(result, paper_dataset.labels)
+        assert metrics.accuracy == 1.0
+
+    def test_evaluate_scores_missing_label(self):
+        with pytest.raises(MissingGroundTruthError):
+            evaluate_scores(np.array([0.5]), {0: True}, fact_ids=[0, 1])
+
+    def test_evaluate_scores_array_labels(self):
+        metrics = evaluate_scores(np.array([0.9, 0.1]), np.array([True, False]))
+        assert metrics.accuracy == 1.0
+
+    def test_threshold_behaviour(self):
+        scores = np.array([0.5])
+        assert evaluate_scores(scores, {0: True}, threshold=0.5).recall == 1.0
+        assert evaluate_scores(scores, {0: True}, threshold=0.6).recall == 0.0
+
+
+class TestRoc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([True, True, False, False])
+        assert auc_score(scores, labels) == pytest.approx(1.0)
+
+    def test_random_ranking_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(2000)
+        labels = rng.random(2000) < 0.5
+        assert auc_score(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_ranking_zero(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([True, True, False, False])
+        assert auc_score(scores, labels) == pytest.approx(0.0)
+
+    def test_curve_endpoints(self):
+        fpr, tpr, thresholds = roc_curve([0.9, 0.1], [True, False])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thresholds[0] == np.inf
+
+    def test_requires_both_classes(self):
+        with pytest.raises(EvaluationError):
+            roc_curve([0.5, 0.6], [True, True])
+
+    def test_requires_alignment(self):
+        with pytest.raises(EvaluationError):
+            roc_curve([0.5], [True, False])
+
+
+class TestThresholdSweep:
+    def test_sweep_and_best(self, paper_dataset):
+        result = TruthResult(method="x", scores=np.array([0.9, 0.8, 0.6, 0.3, 0.7]))
+        sweep = threshold_sweep(result, paper_dataset.labels, thresholds=[0.2, 0.5, 0.95])
+        assert set(sweep) == {0.2, 0.5, 0.95}
+        threshold, value = best_threshold(sweep, metric="accuracy")
+        assert threshold == 0.5
+        assert value == 1.0
+
+    def test_invalid_threshold(self, paper_dataset):
+        result = TruthResult(method="x", scores=np.zeros(5))
+        with pytest.raises(EvaluationError):
+            threshold_sweep(result, paper_dataset.labels, thresholds=[1.5])
+
+    def test_best_threshold_empty(self):
+        with pytest.raises(EvaluationError):
+            best_threshold({})
+
+    def test_best_threshold_unknown_metric(self, paper_dataset):
+        result = TruthResult(method="x", scores=np.zeros(5))
+        sweep = threshold_sweep(result, paper_dataset.labels, thresholds=[0.5])
+        with pytest.raises(EvaluationError):
+            best_threshold(sweep, metric="nonsense")
+
+
+class TestProtocolAndComparison:
+    def test_evaluate_method_on_dataset(self, small_book_dataset):
+        evaluation = evaluate_method_on_dataset(Voting(), small_book_dataset)
+        assert evaluation.method_name == "Voting"
+        assert 0.0 <= evaluation.metrics.accuracy <= 1.0
+        assert not np.isnan(evaluation.auc)
+        row = evaluation.as_row()
+        assert row["dataset"] == small_book_dataset.name
+
+    def test_incremental_protocol(self, medium_book_dataset):
+        evaluation = evaluate_incremental_ltm(medium_book_dataset, iterations=50, seed=0)
+        assert evaluation.method_name == "LTMinc"
+        assert evaluation.metrics.accuracy > 0.8
+
+    def test_compare_methods_table(self, small_book_dataset):
+        table = compare_methods(
+            small_book_dataset,
+            [Voting(), LatentTruthModel(iterations=30, seed=0)],
+        )
+        assert table.methods() == ["Voting", "LTM"]
+        assert 0 <= table.metric("LTM", "accuracy") <= 1
+        assert table.metric("Voting", "auc") > 0.5
+        ranked = table.ranked_by("accuracy")
+        assert len(ranked) == 2
+        rows = table.as_rows()
+        assert len(rows) == 2
+        formatted = table.format()
+        assert "Voting" in formatted and "precision" in formatted
+
+    def test_comparison_unknown_method(self):
+        table = ComparisonTable(dataset_name="d")
+        with pytest.raises(EvaluationError):
+            table.evaluation("missing")
+
+    def test_accuracy_curves(self, small_book_dataset):
+        table = compare_methods(small_book_dataset, [Voting()])
+        curves = table.accuracy_curves(small_book_dataset, thresholds=[0.25, 0.5, 0.75])
+        assert set(curves["Voting"]) == {0.25, 0.5, 0.75}
+
+
+class TestScaling:
+    def test_linear_fit_exact(self):
+        fit = linear_fit([1, 2, 3, 4], [2, 4, 6, 8])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(0.0, abs=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.predict(10) == pytest.approx(20.0)
+
+    def test_linear_fit_validation(self):
+        with pytest.raises(EvaluationError):
+            linear_fit([1], [2])
+        with pytest.raises(EvaluationError):
+            linear_fit([1, 2], [1])
+
+    def test_entity_subsets_nested_sizes(self, small_book_dataset):
+        subsets = entity_subsets(small_book_dataset.claims, fractions=(0.3, 0.6, 1.0), seed=1)
+        sizes = [s.num_entities for s in subsets]
+        assert sizes == sorted(sizes)
+        assert subsets[-1].num_entities == small_book_dataset.claims.num_entities
+
+    def test_entity_subsets_invalid_fraction(self, small_book_dataset):
+        with pytest.raises(EvaluationError):
+            entity_subsets(small_book_dataset.claims, fractions=(0.0,))
+
+    def test_runtime_scaling_study(self, small_book_dataset):
+        subsets = entity_subsets(small_book_dataset.claims, fractions=(0.5, 1.0), seed=1)
+        measurements, fit = runtime_scaling_study(lambda: Voting(), subsets)
+        assert len(measurements) == 2
+        assert all(m["runtime_seconds"] >= 0 for m in measurements)
+        assert fit.slope is not None
+
+    def test_runtime_scaling_invalid_repeats(self, small_book_dataset):
+        with pytest.raises(EvaluationError):
+            runtime_scaling_study(lambda: Voting(), [small_book_dataset.claims], repeats=0)

@@ -1,0 +1,203 @@
+"""Tests for the Section 7 extensions."""
+
+import numpy as np
+import pytest
+
+from repro.data.claim_builder import build_claim_matrix
+from repro.exceptions import ConfigurationError, EmptyDatasetError, ModelError
+from repro.extensions import (
+    AdversarialSourceFilter,
+    EntityClusteredLTM,
+    GaussianClaim,
+    GaussianTruthModel,
+    MultiAttributeLTM,
+)
+from repro.synth.books import BookAuthorConfig, BookAuthorSimulator
+from repro.types import Triple
+
+
+def _claims_with_adversary(num_entities: int = 25):
+    """Three honest sources plus one adversary whose data is mostly wrong."""
+    triples = []
+    for e in range(num_entities):
+        for s in range(3):
+            triples.append((f"e{e}", f"true_{e}", f"good{s}"))
+        triples.append((f"e{e}", f"lie_{e}_1", "adversary"))
+        triples.append((f"e{e}", f"lie_{e}_2", "adversary"))
+    return build_claim_matrix(triples)
+
+
+class TestAdversarialSourceFilter:
+    def test_removes_adversarial_source(self):
+        claims = _claims_with_adversary()
+        report = AdversarialSourceFilter(
+            specificity_threshold=0.6, precision_threshold=0.6, iterations=40, seed=0
+        ).run(claims)
+        assert "adversary" in report.removed_sources
+        assert report.final_claims is not None
+        assert "adversary" not in report.final_claims.source_names
+        assert report.rounds >= 2
+
+    def test_keeps_benign_sources(self, small_book_dataset):
+        report = AdversarialSourceFilter(iterations=30, seed=0, max_rounds=2).run(
+            small_book_dataset.claims
+        )
+        # The simulated sellers are noisy but not adversarial: nothing removed.
+        assert report.removed_sources == []
+        assert report.rounds == 1
+
+    def test_respects_min_sources(self):
+        claims = _claims_with_adversary(num_entities=10)
+        report = AdversarialSourceFilter(
+            specificity_threshold=1.0,
+            precision_threshold=1.0,
+            min_sources=claims.num_sources,
+            iterations=20,
+            seed=0,
+        ).run(claims)
+        assert report.removed_sources == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdversarialSourceFilter(specificity_threshold=1.5)
+        with pytest.raises(ConfigurationError):
+            AdversarialSourceFilter(max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            AdversarialSourceFilter(min_sources=0)
+
+
+class TestGaussianTruthModel:
+    def test_recovers_true_values(self):
+        rng = np.random.default_rng(0)
+        true_values = {f"e{i}": float(i * 10) for i in range(80)}
+        sigmas = {"s_03": 0.3, "s_1": 1.0, "s_2": 2.0, "s_5": 5.0, "s_wild": 20.0}
+        claims = []
+        for entity, value in true_values.items():
+            for source, sigma in sigmas.items():
+                claims.append(GaussianClaim(entity, value + rng.normal(0, sigma), source))
+        result = GaussianTruthModel(iterations=40).fit(claims)
+        errors = [abs(result.truth_estimates[e] - v) for e, v in true_values.items()]
+        assert np.mean(errors) < 1.0
+        ranking = result.source_reliability_ranking()
+        assert ranking[0][0] in {"s_03", "s_1"}
+        assert ranking[-1][0] == "s_wild"
+        assert result.source_variance["s_03"] < result.source_variance["s_wild"]
+
+    def test_extreme_sources_separate(self):
+        rng = np.random.default_rng(1)
+        claims = []
+        for i in range(60):
+            claims.append(GaussianClaim(f"e{i}", float(i) + rng.normal(0, 0.2), "tight"))
+            claims.append(GaussianClaim(f"e{i}", float(i) + rng.normal(0, 2.0), "mid"))
+            claims.append(GaussianClaim(f"e{i}", float(i) + rng.normal(0, 10.0), "loose"))
+        result = GaussianTruthModel(iterations=30).fit(claims)
+        assert len(result.truth_estimates) == 60
+        assert result.source_variance["loose"] > result.source_variance["tight"]
+
+    def test_accepts_tuples(self):
+        result = GaussianTruthModel(iterations=5).fit([("e", 1.0, "s"), ("e", 3.0, "t")])
+        assert result.truth_estimates["e"] == pytest.approx(2.0, abs=0.5)
+        assert result.iterations == 5
+        assert result.truth_uncertainty["e"] > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            GaussianTruthModel().fit([])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussianTruthModel(iterations=0)
+        with pytest.raises(ConfigurationError):
+            GaussianTruthModel(prior_variance=0)
+        with pytest.raises(ConfigurationError):
+            GaussianTruthModel(min_variance=0)
+
+
+class TestMultiAttributeLTM:
+    def _two_types(self):
+        author_triples, publisher_triples = [], []
+        for e in range(20):
+            for s in range(3):
+                author_triples.append((f"book{e}", f"author_{e}", f"src{s}"))
+            author_triples.append((f"book{e}", f"wrong_author_{e}", "src0"))
+            for s in range(3):
+                publisher_triples.append((f"book{e}", f"publisher_{e}", f"src{s}"))
+        return {
+            "author": build_claim_matrix(author_triples),
+            "publisher": build_claim_matrix(publisher_triples),
+        }
+
+    def test_fits_every_type(self):
+        results = MultiAttributeLTM(iterations=30, seed=0).fit(self._two_types())
+        assert set(results) == {"author", "publisher"}
+        for type_result in results.values():
+            assert type_result.result.scores.shape[0] > 0
+            assert type_result.source_quality is not None
+            assert type_result.first_pass_result is not None
+
+    def test_no_sharing_returns_first_pass(self):
+        model = MultiAttributeLTM(sharing_weight=0.0, iterations=20, seed=0)
+        results = model.fit(self._two_types())
+        for type_result in results.values():
+            assert type_result.result is type_result.first_pass_result
+
+    def test_global_quality_summary(self):
+        model = MultiAttributeLTM(iterations=20, seed=0)
+        results = model.fit(self._two_types())
+        summary = model.global_source_quality(results)
+        assert set(summary) == {"src0", "src1", "src2"}
+        for entry in summary.values():
+            assert 0.0 <= entry["sensitivity"] <= 1.0
+            assert 0.0 <= entry["specificity"] <= 1.0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            MultiAttributeLTM().fit({})
+
+    def test_invalid_sharing_weight(self):
+        with pytest.raises(ConfigurationError):
+            MultiAttributeLTM(sharing_weight=1.5)
+
+
+class TestEntityClusteredLTM:
+    def test_combined_scores_cover_all_facts(self, small_book_dataset):
+        claims = small_book_dataset.claims
+        assignment = {entity: f"cluster{i % 2}" for i, entity in enumerate(claims.entities)}
+        combined, results = EntityClusteredLTM(assignment, iterations=25, seed=0).fit(claims)
+        assert combined.shape == (claims.num_facts,)
+        assert set(results) == {"cluster0", "cluster1"}
+        covered = sorted(fid for r in results.values() for fid in r.fact_ids)
+        assert covered == list(range(claims.num_facts))
+
+    def test_callable_assignment_and_tiny_cluster_merge(self, small_book_dataset):
+        claims = small_book_dataset.claims
+        lonely_entity = claims.entities[0]
+
+        def assign(entity):
+            return "lonely" if entity == lonely_entity else "rest"
+
+        combined, results = EntityClusteredLTM(
+            assign, min_cluster_entities=5, iterations=25, seed=0
+        ).fit(claims)
+        # The single-entity cluster is merged into the catch-all cluster.
+        assert "lonely" not in results
+        assert combined.shape == (claims.num_facts,)
+
+    def test_quality_divergence(self, small_book_dataset):
+        claims = small_book_dataset.claims
+        assignment = {entity: f"cluster{i % 2}" for i, entity in enumerate(claims.entities)}
+        model = EntityClusteredLTM(assignment, iterations=25, seed=0)
+        _, results = model.fit(claims)
+        divergence = model.quality_divergence(results)
+        assert all(0.0 <= v <= 1.0 for v in divergence.values())
+
+    def test_empty_claims_rejected(self):
+        from repro.data.dataset import ClaimMatrix
+
+        empty = ClaimMatrix(facts=[], source_names=["s"], claim_fact=[], claim_source=[], claim_obs=[])
+        with pytest.raises(EmptyDatasetError):
+            EntityClusteredLTM({}, iterations=5).fit(empty)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            EntityClusteredLTM({}, min_cluster_entities=0)

@@ -1,0 +1,135 @@
+"""Tests for the integration pipeline, reports and the command-line interface."""
+
+import pytest
+
+from repro.baselines import Voting
+from repro.cli import build_parser, main
+from repro.core.model import LatentTruthModel
+from repro.data.loaders import save_labels_csv, save_triples_csv
+from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.pipeline import IntegrationPipeline, format_merged_records, format_quality_report
+from repro.pipeline.report import format_integration_summary
+
+
+class TestIntegrationPipeline:
+    def test_merges_paper_example(self, paper_triples):
+        pipeline = IntegrationPipeline(method=LatentTruthModel(iterations=60, seed=0))
+        result = pipeline.run(paper_triples)
+        assert result.claims.num_facts == 5
+        assert result.num_accepted() + result.num_rejected() == 5
+        harry = result.accepted_values("Harry Potter")
+        assert "Daniel Radcliffe" in harry
+        assert set(result.fact_scores) == {
+            ("Harry Potter", "Daniel Radcliffe"),
+            ("Harry Potter", "Emma Watson"),
+            ("Harry Potter", "Rupert Grint"),
+            ("Harry Potter", "Johnny Depp"),
+            ("Pirates 4", "Johnny Depp"),
+        }
+
+    def test_voting_pipeline(self, paper_triples):
+        result = IntegrationPipeline(method=Voting()).run(paper_triples)
+        assert result.source_quality is None
+        assert result.accepted_values("Pirates 4") == ["Johnny Depp"]
+
+    def test_workspace_tables(self, paper_triples):
+        pipeline = IntegrationPipeline(method=Voting(), keep_workspace=True)
+        result = pipeline.run(paper_triples)
+        workspace = result.workspace
+        assert workspace is not None
+        assert set(workspace.table_names) == {"raw_database", "facts", "claims", "truths"}
+        assert len(workspace.table("claims")) == result.claims.num_claims
+        assert len(workspace.table("truths")) == result.claims.num_facts
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            IntegrationPipeline(method=Voting()).run([])
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            IntegrationPipeline(threshold=1.5)
+
+    def test_high_threshold_rejects_more(self, paper_triples):
+        lenient = IntegrationPipeline(method=Voting(), threshold=0.3).run(paper_triples)
+        strict = IntegrationPipeline(method=Voting(), threshold=0.9).run(paper_triples)
+        assert strict.num_accepted() <= lenient.num_accepted()
+
+
+class TestReports:
+    def test_quality_report_format(self, paper_claims):
+        result = LatentTruthModel(iterations=30, seed=0).fit(paper_claims)
+        text = format_quality_report(result.source_quality)
+        assert "Sensitivity" in text
+        assert "IMDB" in text
+        limited = format_quality_report(result.source_quality, top=2)
+        assert len(limited.splitlines()) == 3
+
+    def test_merged_records_format(self):
+        text = format_merged_records({"b": ["y", "x"], "a": ["z"]}, limit=None)
+        lines = text.splitlines()
+        assert lines[0] == "a: z"
+        assert lines[1] == "b: x, y"
+
+    def test_merged_records_limit(self):
+        merged = {f"e{i}": ["v"] for i in range(30)}
+        text = format_merged_records(merged, limit=5)
+        assert "more entities" in text
+
+    def test_integration_summary(self, paper_triples):
+        result = IntegrationPipeline(method=Voting()).run(paper_triples)
+        text = format_integration_summary(result)
+        assert "candidate facts:   5" in text
+        assert "method:            Voting" in text
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "books", "out.tsv", "--entities", "10"])
+        assert args.command == "simulate" and args.kind == "books"
+        args = parser.parse_args(["integrate", "in.tsv", "--iterations", "5"])
+        assert args.command == "integrate"
+        args = parser.parse_args(["compare", "in.tsv", "labels.tsv"])
+        assert args.command == "compare"
+
+    def test_simulate_books(self, tmp_path, capsys):
+        out = tmp_path / "books.tsv"
+        code = main(["simulate", "books", str(out), "--entities", "20", "--seed", "3"])
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_simulate_movies(self, tmp_path, capsys):
+        out = tmp_path / "movies.tsv"
+        code = main(["simulate", "movies", str(out), "--entities", "60", "--seed", "3"])
+        assert code == 0
+        assert out.exists()
+
+    def test_integrate_command(self, tmp_path, paper_raw, capsys):
+        triples_path = tmp_path / "triples.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        code = main(["integrate", str(triples_path), "--iterations", "30", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Merged records" in out
+        assert "Source quality" in out
+
+    def test_compare_command(self, tmp_path, paper_raw, capsys):
+        from tests.conftest import PAPER_EXAMPLE_TRUTH
+
+        triples_path = tmp_path / "triples.tsv"
+        labels_path = tmp_path / "labels.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        save_labels_csv(PAPER_EXAMPLE_TRUTH, labels_path)
+        code = main(["compare", str(triples_path), str(labels_path), "--iterations", "20", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LTM" in out and "Voting" in out
+
+    def test_compare_command_no_matching_labels(self, tmp_path, paper_raw, capsys):
+        triples_path = tmp_path / "triples.tsv"
+        labels_path = tmp_path / "labels.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        save_labels_csv({("Nope", "Nobody"): True}, labels_path)
+        code = main(["compare", str(triples_path), str(labels_path)])
+        assert code == 2

@@ -1,0 +1,134 @@
+"""Tests for the streaming claim batches and the online integration engine."""
+
+import pytest
+
+from repro.exceptions import StreamError
+from repro.streaming import ClaimStream, OnlineTruthFinder
+from repro.streaming.stream import ClaimBatch
+from repro.types import Triple
+
+
+def _triples_for(num_entities: int, good_sources: int = 5) -> list[Triple]:
+    triples = []
+    for e in range(num_entities):
+        for s in range(good_sources):
+            triples.append(Triple(f"e{e}", f"true_{e}", f"good{s}"))
+        triples.append(Triple(f"e{e}", f"junk_{e}", "spammer"))
+    return triples
+
+
+class TestClaimStream:
+    def test_batches_group_entities(self):
+        stream = ClaimStream(_triples_for(10), batch_entities=4)
+        batches = list(stream)
+        assert len(batches) == 3
+        assert stream.num_batches() == 3
+        assert sum(len(b.entities) for b in batches) == 10
+        assert batches[0].index == 0 and batches[-1].index == 2
+
+    def test_batch_contains_all_entity_triples(self):
+        stream = ClaimStream(_triples_for(4), batch_entities=2)
+        batch = next(iter(stream))
+        for entity in batch.entities:
+            expected = [t for t in _triples_for(4) if t.entity == entity]
+            got = [t for t in batch.triples if t.entity == entity]
+            assert len(got) == len(expected)
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        triples = _triples_for(12)
+        a = [b.entities for b in ClaimStream(triples, batch_entities=3, shuffle_entities=True, seed=1)]
+        b = [b.entities for b in ClaimStream(triples, batch_entities=3, shuffle_entities=True, seed=1)]
+        c = [b.entities for b in ClaimStream(triples, batch_entities=3, shuffle_entities=True, seed=2)]
+        assert a == b
+        assert a != c
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(StreamError):
+            ClaimStream([])
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(StreamError):
+            ClaimStream(_triples_for(2), batch_entities=0)
+
+    def test_split_prefix(self):
+        triples = _triples_for(10)
+        historical, future = ClaimStream.split_prefix(triples, fraction=0.5, seed=3)
+        historical_entities = {t.entity for t in historical}
+        future_entities = {t.entity for t in future}
+        assert historical_entities.isdisjoint(future_entities)
+        assert len(historical_entities) == 5
+
+    def test_split_prefix_invalid_fraction(self):
+        with pytest.raises(StreamError):
+            ClaimStream.split_prefix(_triples_for(4), fraction=1.5)
+
+    def test_claim_batch_len(self):
+        batch = ClaimBatch(index=0, triples=(Triple("e", "a", "s"),))
+        assert len(batch) == 1
+        assert batch.entities == ["e"]
+
+
+class TestOnlineTruthFinder:
+    def test_bootstrap_then_stream(self):
+        triples = _triples_for(30)
+        historical, future = ClaimStream.split_prefix(triples, fraction=0.5, seed=0)
+        engine = OnlineTruthFinder(retrain_every=0, iterations=30, seed=1)
+        quality = engine.bootstrap(historical)
+        assert quality is not None
+        assert engine.source_quality is not None
+
+        reports = engine.run(ClaimStream(future, batch_entities=5))
+        assert len(reports) >= 1
+        assert all(report.num_facts > 0 for report in reports)
+        # The spammer's junk facts should be overwhelmingly rejected while the
+        # consensus facts are accepted.
+        merged = engine.merged_records(threshold=0.5)
+        accepted_values = {v for values in merged.values() for v in values}
+        accepted_junk = sum(1 for v in accepted_values if v.startswith("junk_"))
+        accepted_true = sum(1 for v in accepted_values if v.startswith("true_"))
+        assert accepted_true >= 25
+        assert accepted_junk <= 3
+
+    def test_cold_start_falls_back_to_voting(self):
+        engine = OnlineTruthFinder(retrain_every=2, iterations=20, seed=1)
+        batches = list(ClaimStream(_triples_for(8), batch_entities=4))
+        report = engine.integrate_batch(batches[0])
+        assert report.retrained is False
+        assert engine.source_quality is None
+        report2 = engine.integrate_batch(batches[1])
+        assert report2.retrained is True
+        assert engine.source_quality is not None
+
+    def test_periodic_retraining_counts(self):
+        engine = OnlineTruthFinder(retrain_every=2, iterations=15, seed=1)
+        reports = engine.run(ClaimStream(_triples_for(12), batch_entities=3))
+        retrain_flags = [r.retrained for r in reports]
+        assert retrain_flags == [False, True, False, True]
+
+    def test_non_cumulative_retraining(self):
+        engine = OnlineTruthFinder(retrain_every=1, iterations=15, cumulative=False, seed=1)
+        reports = engine.run(ClaimStream(_triples_for(9), batch_entities=3))
+        assert all(r.retrained for r in reports)
+        assert engine.source_quality is not None
+
+    def test_empty_batch_rejected(self):
+        engine = OnlineTruthFinder()
+        with pytest.raises(StreamError):
+            engine.integrate_batch(ClaimBatch(index=0, triples=()))
+
+    def test_bootstrap_requires_new_triples(self):
+        engine = OnlineTruthFinder()
+        with pytest.raises(StreamError):
+            engine.bootstrap([])
+
+    def test_invalid_retrain_every(self):
+        with pytest.raises(StreamError):
+            OnlineTruthFinder(retrain_every=-1)
+
+    def test_step_report_accepted_facts(self):
+        engine = OnlineTruthFinder(retrain_every=0, iterations=20, seed=1)
+        engine.bootstrap(_triples_for(10))
+        batch = next(iter(ClaimStream(_triples_for(20)[30:], batch_entities=50)))
+        report = engine.integrate_batch(batch)
+        accepted = report.accepted_facts(threshold=0.5)
+        assert all(isinstance(pair, tuple) and len(pair) == 2 for pair in accepted)
