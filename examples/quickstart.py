@@ -19,7 +19,7 @@ specific — which is exactly what is needed to keep Rupert Grint and drop
 Johnny Depp.
 """
 
-from repro import IntegrationPipeline, LatentTruthModel, Voting
+import repro
 from repro.pipeline import format_merged_records, format_quality_report
 
 # Table 1 of the paper.
@@ -55,8 +55,9 @@ def main() -> None:
     triples = PAPER_TABLE1 + back_catalogue()
 
     print("=== Integrating with the Latent Truth Model ===")
-    pipeline = IntegrationPipeline(method=LatentTruthModel(iterations=300, seed=0))
-    result = pipeline.run(triples)
+    # The one-liner API: the method is resolved through the unified registry,
+    # extra keyword arguments become solver hyperparameters.
+    result = repro.discover(triples, method="ltm", iterations=300, seed=0)
 
     print("\nHarry Potter, accepted cast:", sorted(result.accepted_values("Harry Potter")))
     print("Harry Potter, rejected cast:", sorted(result.rejected_records.get("Harry Potter", [])))
@@ -68,7 +69,7 @@ def main() -> None:
     print(format_quality_report(result.source_quality))
 
     print("\n=== The same data under majority voting ===")
-    voting_result = IntegrationPipeline(method=Voting()).run(triples)
+    voting_result = repro.discover(triples, method="voting")
     print("Harry Potter, accepted cast:", sorted(voting_result.accepted_values("Harry Potter")))
     print(
         "\nVoting drops Rupert Grint (and would keep Johnny Depp if the threshold "

@@ -8,10 +8,18 @@ seven baselines the paper compares against, the claim-construction data model,
 dataset simulators, a streaming integration engine and a full evaluation
 harness.
 
+The canonical API is the unified :mod:`repro.engine`: a
+:class:`~repro.engine.TruthEngine` facade with a sklearn-style lifecycle
+(``fit`` / ``partial_fit`` / ``predict_proba`` / ``quality_report``), built
+from a declarative :class:`~repro.engine.EngineConfig` and resolving solvers
+through the :class:`~repro.engine.MethodRegistry`.  The historical entry
+points (:class:`IntegrationPipeline`, :class:`OnlineTruthFinder`,
+``default_method_suite``) remain as thin adapters over it.
+
 Quickstart
 ----------
->>> from repro import LatentTruthModel, build_claim_matrix
->>> claims = build_claim_matrix([
+>>> import repro
+>>> result = repro.discover([
 ...     ("Harry Potter", "Daniel Radcliffe", "imdb"),
 ...     ("Harry Potter", "Emma Watson", "imdb"),
 ...     ("Harry Potter", "Rupert Grint", "imdb"),
@@ -19,9 +27,9 @@ Quickstart
 ...     ("Harry Potter", "Daniel Radcliffe", "badsource.com"),
 ...     ("Harry Potter", "Emma Watson", "badsource.com"),
 ...     ("Harry Potter", "Johnny Depp", "badsource.com"),
-... ])
->>> result = LatentTruthModel(iterations=100, seed=0).fit(claims)
->>> result.scores.shape[0] == claims.num_facts
+... ], method="ltm", iterations=100, seed=0)
+>>> sorted(result.fact_scores) == sorted(
+...     (f.entity, str(f.attribute)) for f in result.claims.facts)
 True
 """
 
@@ -74,11 +82,26 @@ from repro.synth import (
 )
 from repro.streaming import ClaimStream, OnlineTruthFinder
 from repro.pipeline import IntegrationPipeline, IntegrationResult
+from repro.engine import (
+    EngineConfig,
+    MethodRegistry,
+    MethodSpec,
+    TruthEngine,
+    default_registry,
+    discover,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # unified engine (canonical API)
+    "TruthEngine",
+    "EngineConfig",
+    "MethodRegistry",
+    "MethodSpec",
+    "default_registry",
+    "discover",
     # data model
     "Triple",
     "RawDatabase",

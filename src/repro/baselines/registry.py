@@ -1,58 +1,62 @@
-"""A registry of every truth-finding method, used by the comparison harness.
+"""Legacy method-registry shim (deprecated — use :mod:`repro.engine.registry`).
 
-The paper's Table 7 / Figures 2-3 compare ten methods: LTM, LTMinc, LTMpos,
-the seven baselines and Voting.  :func:`default_method_suite` builds fresh,
-consistently-configured instances of the nine methods that can be fitted
-directly on a claim matrix (LTMinc needs a previously learned quality table
-and is constructed separately by the evaluation protocol).
+This module used to hold its own factory table.  It is now a thin adapter
+over the unified :class:`~repro.engine.registry.MethodRegistry`, kept so the
+historical entry points (``all_methods``, ``get_method``,
+``default_method_suite``) continue to work unchanged.  New code should
+resolve solvers through :func:`repro.engine.default_registry` (or simply use
+:class:`repro.engine.TruthEngine` / :func:`repro.discover`).
+
+:func:`default_method_suite` builds fresh, consistently-configured instances
+of the nine methods of the paper's Table 7 / Figures 2-3 comparison that can
+be fitted directly on a claim matrix (LTMinc needs a previously learned
+quality table and is constructed separately by the evaluation protocol).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import Mapping
 
-from repro.baselines.avglog import AvgLog
-from repro.baselines.hubauthority import HubAuthority
-from repro.baselines.investment import Investment
-from repro.baselines.pooled_investment import PooledInvestment
-from repro.baselines.three_estimates import ThreeEstimates
-from repro.baselines.truthfinder import TruthFinder
-from repro.baselines.voting import Voting
 from repro.core.base import TruthMethod
-from repro.core.ltmpos import PositiveOnlyLTM
-from repro.core.model import LatentTruthModel
 from repro.core.priors import LTMPriors
-from repro.exceptions import ConfigurationError
 
 __all__ = ["all_methods", "default_method_suite", "get_method"]
 
-_FACTORIES: dict[str, Callable[..., TruthMethod]] = {
-    "LTM": LatentTruthModel,
-    "LTMpos": PositiveOnlyLTM,
-    "Voting": Voting,
-    "TruthFinder": TruthFinder,
-    "HubAuthority": HubAuthority,
-    "AvgLog": AvgLog,
-    "Investment": Investment,
-    "PooledInvestment": PooledInvestment,
-    "3-Estimates": ThreeEstimates,
-}
+#: Display names of the nine directly-fittable comparison methods, in the
+#: historical registration order of this module.
+_LEGACY_SUITE = (
+    "LTM",
+    "LTMpos",
+    "Voting",
+    "TruthFinder",
+    "HubAuthority",
+    "AvgLog",
+    "Investment",
+    "PooledInvestment",
+    "3-Estimates",
+)
 
 
 def all_methods() -> list[str]:
-    """Names of every registered method."""
-    return list(_FACTORIES)
+    """Names of every method of the legacy comparison registry.
+
+    Deprecated: prefer ``default_registry().names()`` which also covers the
+    incremental and extension models.
+    """
+    return list(_LEGACY_SUITE)
 
 
 def get_method(name: str, **kwargs) -> TruthMethod:
-    """Instantiate the method registered under ``name`` with ``kwargs``."""
-    try:
-        factory = _FACTORIES[name]
-    except KeyError as exc:
-        raise ConfigurationError(
-            f"unknown method {name!r}; registered methods: {sorted(_FACTORIES)}"
-        ) from exc
-    return factory(**kwargs)
+    """Instantiate the method registered under ``name`` with ``kwargs``.
+
+    Deprecated: prefer ``default_registry().create(name, **kwargs)``.  Names
+    are resolved through the unified registry, so both the historical
+    display names (``"LTM"``, ``"3-Estimates"``) and the canonical keys
+    (``"ltm"``, ``"three_estimates"``) work.
+    """
+    from repro.engine.registry import default_registry
+
+    return default_registry().create(name, **kwargs)
 
 
 def default_method_suite(
@@ -75,28 +79,31 @@ def default_method_suite(
         Optional mapping of method name to a Boolean; methods mapped to
         ``False`` are skipped.
     """
+    from repro.engine.registry import default_registry
+
+    registry = default_registry()
     include = dict(include or {})
 
     def wanted(name: str) -> bool:
         return include.get(name, True)
 
+    sampled_kwargs = {"priors": priors, "iterations": iterations, "seed": seed}
     suite: list[TruthMethod] = []
-    if wanted("LTM"):
-        suite.append(LatentTruthModel(priors=priors, iterations=iterations, seed=seed))
-    if wanted("3-Estimates"):
-        suite.append(ThreeEstimates())
-    if wanted("Voting"):
-        suite.append(Voting())
-    if wanted("TruthFinder"):
-        suite.append(TruthFinder())
-    if wanted("Investment"):
-        suite.append(Investment())
-    if wanted("LTMpos"):
-        suite.append(PositiveOnlyLTM(priors=priors, iterations=iterations, seed=seed))
-    if wanted("HubAuthority"):
-        suite.append(HubAuthority())
-    if wanted("AvgLog"):
-        suite.append(AvgLog())
-    if wanted("PooledInvestment"):
-        suite.append(PooledInvestment())
+    # Paper presentation order (LTM first, heuristic baselines after).
+    for name in (
+        "LTM",
+        "3-Estimates",
+        "Voting",
+        "TruthFinder",
+        "Investment",
+        "LTMpos",
+        "HubAuthority",
+        "AvgLog",
+        "PooledInvestment",
+    ):
+        if not wanted(name):
+            continue
+        spec = registry.spec(name)
+        kwargs = sampled_kwargs if spec.accepts("priors") else {}
+        suite.append(registry.create(name, **kwargs))
     return suite

@@ -1,13 +1,15 @@
 """Command-line interface: simulate datasets, integrate triple files, compare methods.
 
-The CLI is a thin wrapper over the library; it exists so that a downstream
-user can reproduce the core workflow without writing Python:
+The CLI is a thin wrapper over the unified :mod:`repro.engine` API; it exists
+so that a downstream user can reproduce the core workflow without writing
+Python:
 
 * ``repro-truth simulate books out.tsv`` — write a simulated book-seller crawl;
-* ``repro-truth integrate in.tsv`` — run LTM on a triple file and print the
-  merged records and the source-quality report;
+* ``repro-truth integrate in.tsv --method ltm`` — run any registered method
+  on a triple file and print the merged records and the source-quality report;
 * ``repro-truth compare in.tsv labels.tsv`` — run the full method comparison
-  against a ground-truth label file.
+  against a ground-truth label file;
+* ``repro-truth methods`` — list every registered solver with its metadata.
 """
 
 from __future__ import annotations
@@ -17,11 +19,12 @@ import sys
 from typing import Sequence
 
 from repro.baselines import default_method_suite
-from repro.core.model import LatentTruthModel
 from repro.data.claim_builder import build_dataset
 from repro.data.loaders import load_labels_csv, load_triples_csv, save_triples_csv
+from repro.engine.facade import discover
+from repro.engine.registry import default_registry
 from repro.evaluation.comparison import compare_methods
-from repro.pipeline.integrate import IntegrationPipeline
+from repro.exceptions import ConfigurationError, EmptyDatasetError
 from repro.pipeline.report import (
     format_integration_summary,
     format_merged_records,
@@ -30,7 +33,7 @@ from repro.pipeline.report import (
 from repro.synth.books import BookAuthorConfig, BookAuthorSimulator
 from repro.synth.movies import MovieDirectorConfig, MovieDirectorSimulator
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "format_method_table"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,9 +50,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--entities", type=int, default=None, help="number of entities to simulate")
     simulate.add_argument("--seed", type=int, default=17, help="random seed")
 
-    integrate = subparsers.add_parser("integrate", help="integrate a triple TSV with LTM")
+    integrate = subparsers.add_parser("integrate", help="integrate a triple TSV")
     integrate.add_argument("input", help="triple TSV with header entity/attribute/source")
-    integrate.add_argument("--iterations", type=int, default=100, help="Gibbs iterations")
+    integrate.add_argument(
+        "--method",
+        default="ltm",
+        help="registered truth method to run (see 'repro-truth methods')",
+    )
+    integrate.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="solver iterations (the method's own default when omitted)",
+    )
     integrate.add_argument("--threshold", type=float, default=0.5, help="acceptance threshold")
     integrate.add_argument("--seed", type=int, default=7, help="random seed")
     integrate.add_argument("--max-records", type=int, default=20, help="merged records to print")
@@ -59,6 +72,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("labels", help="label TSV with header entity/attribute/truth")
     compare.add_argument("--iterations", type=int, default=100, help="Gibbs iterations for LTM")
     compare.add_argument("--seed", type=int, default=7, help="random seed")
+
+    subparsers.add_parser("methods", help="list registered truth methods and their metadata")
     return parser
 
 
@@ -99,10 +114,40 @@ def _run_simulate(args: argparse.Namespace) -> int:
 
 def _run_integrate(args: argparse.Namespace) -> int:
     raw = load_triples_csv(args.input)
-    # priors=None lets the model pick data-adaptive priors (LTMPriors.adaptive).
-    method = LatentTruthModel(priors=None, iterations=args.iterations, seed=args.seed)
-    pipeline = IntegrationPipeline(method=method, threshold=args.threshold)
-    result = pipeline.run(raw)
+    registry = default_registry()
+    try:
+        spec = registry.spec(args.method)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not spec.claim_based:
+        print(
+            f"error: method {spec.key!r} does not consume (entity, attribute, source) "
+            f"triples and cannot be run via 'integrate'",
+            file=sys.stderr,
+        )
+        return 2
+    if spec.requires_quality:
+        print(
+            f"error: method {spec.key!r} needs previously learned source quality; "
+            f"run '--method ltm' instead",
+            file=sys.stderr,
+        )
+        return 2
+    # Pass the sampler settings only to methods that take them, and only when
+    # the user asked for them (so each method keeps its own iteration
+    # default); for LTM, omitting priors selects the data-adaptive defaults
+    # (LTMPriors.adaptive).
+    params = {}
+    if args.iterations is not None and spec.accepts("iterations"):
+        params["iterations"] = args.iterations
+    if spec.accepts("seed"):
+        params["seed"] = args.seed
+    try:
+        result = discover(raw, method=args.method, threshold=args.threshold, **params)
+    except (ConfigurationError, EmptyDatasetError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     print(format_integration_summary(result))
     print()
@@ -139,6 +184,36 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def format_method_table() -> str:
+    """A fixed-width table of every registered method and its metadata."""
+    specs = default_registry().specs()
+    rows = [
+        (
+            spec.key,
+            spec.display_name,
+            "yes" if spec.supports_incremental else "no",
+            "yes" if spec.supports_quality else "no",
+            spec.output_range,
+            spec.summary,
+        )
+        for spec in specs
+    ]
+    header = ("method", "display", "incremental", "quality", "scores", "description")
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(5)]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(5)) + "  " + header[5],
+        "  ".join("-" * widths[i] for i in range(5)) + "  " + "-" * len(header[5]),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(5)) + "  " + row[5])
+    return "\n".join(lines)
+
+
+def _run_methods(args: argparse.Namespace) -> int:
+    print(format_method_table())
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -149,6 +224,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_integrate(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "methods":
+        return _run_methods(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

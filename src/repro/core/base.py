@@ -59,6 +59,10 @@ class SourceQualityTable:
                 )
         if self.accuracy is None:
             self.accuracy = np.full(n, np.nan)
+        elif self.accuracy.shape != (n,):
+            raise EvaluationError(
+                f"accuracy must have shape ({n},), got {self.accuracy.shape}"
+            )
 
     @property
     def num_sources(self) -> int:

@@ -1,0 +1,39 @@
+"""The unified truth-discovery engine (the library's canonical API).
+
+This package is the single seam every entry point goes through:
+
+* :class:`~repro.engine.registry.MethodRegistry` — config-driven catalogue of
+  every solver (LTM and variants, the seven baselines, the extension models)
+  under string keys with per-method metadata;
+* :class:`~repro.engine.config.EngineConfig` — declarative engine
+  configuration (method + hyperparameters + execution options);
+* :class:`~repro.engine.facade.TruthEngine` — sklearn-style facade with
+  ``fit`` / ``partial_fit`` / ``predict_proba`` / ``quality_report``,
+  covering batch, incremental and streaming integration alike;
+* :func:`~repro.engine.facade.discover` — the one-liner quickstart path.
+
+The historical entry points
+(:class:`~repro.pipeline.integrate.IntegrationPipeline`,
+:class:`~repro.streaming.online.OnlineTruthFinder`, the
+``repro-truth`` CLI) are thin adapters over this package.
+"""
+
+from repro.engine.config import EngineConfig
+from repro.engine.registry import (
+    MethodRegistry,
+    MethodSpec,
+    default_registry,
+    register_default,
+)
+from repro.engine.facade import OnlineStepReport, TruthEngine, discover
+
+__all__ = [
+    "EngineConfig",
+    "MethodRegistry",
+    "MethodSpec",
+    "OnlineStepReport",
+    "TruthEngine",
+    "default_registry",
+    "discover",
+    "register_default",
+]

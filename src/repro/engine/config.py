@@ -1,0 +1,97 @@
+"""Declarative configuration of a :class:`~repro.engine.TruthEngine`.
+
+An :class:`EngineConfig` is a plain, serialisable description of one engine:
+which method to run (a registry key), the hyperparameters to build it with,
+and the execution options (acceptance threshold, streaming re-train cadence).
+Because it is data rather than code, a config can be loaded from JSON/YAML,
+logged, diffed and shipped between services — the property that lets later
+work (serving, sharding, multi-backend) treat truth discovery as a
+configuration concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything needed to build and run a :class:`~repro.engine.TruthEngine`.
+
+    Attributes
+    ----------
+    method:
+        Registry key (or alias) of the solver, e.g. ``"ltm"``, ``"voting"``,
+        ``"three_estimates"``.
+    params:
+        Keyword arguments passed to the method's factory (hyperparameters
+        such as ``iterations``, ``seed``, ``priors``).
+    threshold:
+        Truth-probability threshold above which a fact is accepted into the
+        merged records.
+    retrain_every:
+        Streaming only: re-fit the full model after every ``retrain_every``
+        calls to :meth:`~repro.engine.TruthEngine.partial_fit`
+        (0 disables periodic re-training).
+    cumulative:
+        Streaming only: when true (default) re-fits use all data seen so
+        far; when false they use only the data since the previous re-fit,
+        with learned quality carried over as priors (paper Section 5.4).
+    """
+
+    method: str = "ltm"
+    params: dict[str, Any] = field(default_factory=dict)
+    threshold: float = 0.5
+    retrain_every: int = 5
+    cumulative: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, str) or not self.method.strip():
+            raise ConfigurationError("method must be a non-empty string")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError("threshold must lie in [0, 1]")
+        if self.retrain_every < 0:
+            raise ConfigurationError("retrain_every must be non-negative")
+        object.__setattr__(self, "params", dict(self.params))
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        """Build a config from a plain mapping (e.g. parsed JSON).
+
+        Unknown keys are rejected so that typos in config files fail loudly.
+        """
+        allowed = {"method", "params", "threshold", "retrain_every", "cumulative"}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown EngineConfig keys: {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        return cls(**dict(data))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The config as a plain dict (inverse of :meth:`from_dict`)."""
+        return {
+            "method": self.method,
+            "params": dict(self.params),
+            "threshold": self.threshold,
+            "retrain_every": self.retrain_every,
+            "cumulative": self.cumulative,
+        }
+
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
+        """A copy of the config with ``overrides`` applied."""
+        if "params" in overrides and overrides["params"] is not None:
+            overrides["params"] = dict(overrides["params"])
+        return replace(self, **overrides)
+
+    def with_params(self, **params: Any) -> "EngineConfig":
+        """A copy with ``params`` merged into the hyperparameters."""
+        merged = dict(self.params)
+        merged.update(params)
+        return replace(self, params=merged)

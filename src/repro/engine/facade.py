@@ -1,0 +1,511 @@
+"""The :class:`TruthEngine` facade: one surface for batch, incremental and
+streaming truth discovery.
+
+Historically the library exposed three disjoint entry styles — to be wired
+separately for every new scenario:
+
+* ``TruthMethod.fit(claims)`` for batch solvers,
+* :class:`~repro.streaming.online.OnlineTruthFinder` for streams,
+* :class:`~repro.pipeline.integrate.IntegrationPipeline` for end-to-end runs.
+
+:class:`TruthEngine` unifies them behind a single sklearn-style lifecycle:
+
+* :meth:`TruthEngine.fit` — full batch fit on triples or a claim matrix;
+* :meth:`TruthEngine.partial_fit` — integrate one arriving batch, scoring it
+  with the closed-form LTMinc posterior (Equation 3) and periodically
+  re-fitting the full model (paper Section 5.4);
+* :meth:`TruthEngine.predict_proba` — score fitted facts, or new claims from
+  the learned source quality without re-fitting;
+* :meth:`TruthEngine.quality_report` — the learned per-source quality table.
+
+The solver itself is resolved through the
+:class:`~repro.engine.registry.MethodRegistry` from a declarative
+:class:`~repro.engine.config.EngineConfig`, so switching methods, backends or
+hyperparameters is a configuration change, not a code change.  The historical
+entry points remain as thin adapters over this class.
+
+The :func:`discover` one-liner covers the quickstart path::
+
+    >>> import repro
+    >>> result = repro.discover(triples, method="ltm", seed=0)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+import numpy as np
+
+from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
+from repro.core.incremental import IncrementalLTM
+from repro.core.priors import LTMPriors
+from repro.data.claim_builder import build_claim_matrix
+from repro.data.dataset import ClaimMatrix
+from repro.data.raw import RawDatabase
+from repro.engine.config import EngineConfig
+from repro.engine.registry import MethodRegistry, default_registry
+from repro.exceptions import ConfigurationError, NotFittedError, StreamError
+from repro.streaming.stream import ClaimBatch
+from repro.types import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.pipeline.integrate import IntegrationResult
+
+__all__ = ["OnlineStepReport", "TruthEngine", "discover"]
+
+
+@dataclass
+class OnlineStepReport:
+    """What happened when one batch was integrated incrementally.
+
+    Attributes
+    ----------
+    batch_index:
+        Sequence number of the integrated batch.
+    num_triples, num_facts:
+        Size of the batch.
+    retrained:
+        Whether a full model re-fit happened after this batch.
+    fact_scores:
+        Mapping of ``(entity, attribute)`` to the truth probability assigned
+        by the incremental predictor.
+    """
+
+    batch_index: int
+    num_triples: int
+    num_facts: int
+    retrained: bool
+    fact_scores: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def accepted_facts(self, threshold: float = 0.5) -> list[tuple[str, str]]:
+        """Facts accepted as true at ``threshold``."""
+        return [pair for pair, score in self.fact_scores.items() if score >= threshold]
+
+
+class TruthEngine:
+    """Unified batch / incremental / streaming truth discovery.
+
+    Parameters
+    ----------
+    config:
+        Declarative engine configuration (method key, hyperparameters,
+        execution options).  Defaults to LTM with library defaults.
+    solver:
+        A prebuilt :class:`~repro.core.base.TruthMethod` instance that
+        bypasses registry construction.  Used by the adapter entry points
+        that accept method objects; config hyperparameters are ignored for
+        solver construction when this is given.
+    registry:
+        The method registry to resolve ``config.method`` against (defaults to
+        the shared :func:`~repro.engine.registry.default_registry`).
+    **overrides:
+        Shorthand config overrides, e.g. ``TruthEngine(method="voting",
+        threshold=0.7)``.
+
+    Examples
+    --------
+    >>> from repro.engine import TruthEngine
+    >>> engine = TruthEngine(method="voting")
+    >>> engine.fit([
+    ...     ("Harry Potter", "Daniel Radcliffe", "IMDB"),
+    ...     ("Harry Potter", "Daniel Radcliffe", "Netflix"),
+    ... ])
+    TruthEngine(method='voting', fitted=True)
+    >>> engine.predict_proba().shape
+    (1,)
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        *,
+        solver: TruthMethod | None = None,
+        registry: MethodRegistry | None = None,
+        **overrides: Any,
+    ):
+        config = config if config is not None else EngineConfig()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.registry = registry if registry is not None else default_registry()
+        if solver is not None and not isinstance(solver, TruthMethod):
+            raise ConfigurationError(
+                f"solver must be a TruthMethod instance, got {type(solver).__name__}"
+            )
+        self._solver = solver
+        if solver is None:
+            # Fail fast on unknown methods; extension models are resolvable
+            # but rejected at fit time with a pointed error.
+            self.registry.resolve(config.method)
+
+        self._history = RawDatabase(strict=False)
+        self._since_last_fit = RawDatabase(strict=False)
+        self._batches_since_fit = 0
+        self._quality: SourceQualityTable | None = None
+        self._scores: dict[tuple[str, str], float] = {}
+        self._result: TruthResult | None = None
+        self._claims: ClaimMatrix | None = None
+        self.reports: list[OnlineStepReport] = []
+
+    # -- state access ---------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        """Whether a batch fit (or streaming re-fit) has completed."""
+        return self._result is not None
+
+    @property
+    def source_quality(self) -> SourceQualityTable | None:
+        """The current source-quality estimate (``None`` before the first fit)."""
+        return self._quality
+
+    @property
+    def fact_scores(self) -> dict[tuple[str, str], float]:
+        """Latest truth probability of every fact integrated so far."""
+        return dict(self._scores)
+
+    @property
+    def last_report(self) -> OnlineStepReport | None:
+        """The step report of the most recent :meth:`partial_fit` call."""
+        return self.reports[-1] if self.reports else None
+
+    def result(self) -> TruthResult:
+        """The raw solver output of the last full fit.
+
+        Raises
+        ------
+        NotFittedError
+            If neither :meth:`fit` nor a streaming re-fit has happened yet.
+        """
+        if self._result is None:
+            raise NotFittedError("TruthEngine has not been fitted yet")
+        return self._result
+
+    def claims(self) -> ClaimMatrix:
+        """The claim matrix of the last full fit."""
+        if self._claims is None:
+            raise NotFittedError("TruthEngine has not been fitted yet")
+        return self._claims
+
+    def quality_report(self) -> SourceQualityTable:
+        """The learned per-source quality table (paper Table 8).
+
+        Raises
+        ------
+        NotFittedError
+            If no quality has been learned — either nothing was fitted yet or
+            the configured method does not estimate source quality.
+        """
+        if self._quality is None:
+            raise NotFittedError(
+                "no source quality available: fit a quality-estimating method "
+                "(e.g. 'ltm') first"
+            )
+        return self._quality
+
+    def merged_records(self, threshold: float | None = None) -> dict[str, list[str]]:
+        """The integrated output: entity -> accepted attribute values."""
+        threshold = self.config.threshold if threshold is None else threshold
+        merged: dict[str, list[str]] = {}
+        for (entity, attribute), score in self._scores.items():
+            if score >= threshold:
+                merged.setdefault(entity, []).append(str(attribute))
+        return merged
+
+    def rejected_records(self, threshold: float | None = None) -> dict[str, list[str]]:
+        """Entity -> asserted attribute values rejected as false."""
+        threshold = self.config.threshold if threshold is None else threshold
+        rejected: dict[str, list[str]] = {}
+        for (entity, attribute), score in self._scores.items():
+            if score < threshold:
+                rejected.setdefault(entity, []).append(str(attribute))
+        return rejected
+
+    # -- solver construction --------------------------------------------------------
+    def make_solver(self, priors: LTMPriors | None = None) -> TruthMethod:
+        """Build the configured solver (or return the injected instance).
+
+        Parameters
+        ----------
+        priors:
+            Optional priors override, used by streaming re-fits to carry
+            learned quality over (only applied when the method accepts a
+            ``priors`` argument).
+        """
+        if self._solver is not None:
+            return self._solver
+        spec = self.registry.spec(self.config.method)
+        if not spec.claim_based:
+            raise ConfigurationError(
+                f"method {spec.key!r} does not consume claim matrices and cannot "
+                f"be driven through TruthEngine; instantiate "
+                f"{spec.factory.__name__} directly"
+            )
+        params = dict(self.config.params)
+        if priors is not None and spec.accepts("priors"):
+            params["priors"] = priors
+        if spec.requires_quality and "source_quality" not in params:
+            if self._quality is None:
+                raise ConfigurationError(
+                    f"method {spec.key!r} needs previously learned source quality; "
+                    f"pass source_quality in params or fit a quality-estimating "
+                    f"method first"
+                )
+            params["source_quality"] = self._quality
+        return spec.factory(**params)
+
+    def _streaming_priors(self) -> LTMPriors:
+        """The priors governing incremental scoring and quality carry-over."""
+        priors = self.config.params.get("priors")
+        return priors if priors is not None else LTMPriors()
+
+    # -- batch lifecycle ------------------------------------------------------------
+    def ingest(self, triples: Iterable[Triple | tuple]) -> int:
+        """Add ``triples`` to the engine's history without fitting.
+
+        Returns the number of genuinely new triples added (duplicates are
+        dropped).  Call :meth:`fit` afterwards to learn from the accumulated
+        history.
+        """
+        return self._history.extend(triples)
+
+    def fit(
+        self, data: Iterable[Triple | tuple] | RawDatabase | ClaimMatrix | None = None
+    ) -> "TruthEngine":
+        """Fit the configured method on ``data`` (or the ingested history).
+
+        Giving ``data`` is a *fresh* fit, sklearn-style: all previously
+        accumulated state (history, scores, learned quality, step reports)
+        is discarded first, so ``fit(a); fit(b)`` scores ``b`` alone.  Pass
+        ``None`` to fit on everything previously accumulated via
+        :meth:`ingest` / :meth:`partial_fit` instead (the streaming
+        bootstrap / re-fit path, which keeps the history).
+
+        Parameters
+        ----------
+        data:
+            Raw triples, a :class:`~repro.data.raw.RawDatabase`, a prebuilt
+            :class:`~repro.data.dataset.ClaimMatrix`, or ``None``.  Note
+            that a prebuilt matrix cannot be decomposed back into raw
+            triples, so it does not seed the streaming history: follow-up
+            :meth:`partial_fit` re-fits will only see the streamed batches.
+            Use triples input (or :meth:`ingest`) when mixing batch and
+            streaming.
+
+        Returns
+        -------
+        TruthEngine
+            ``self``, sklearn-style, so calls chain.
+        """
+        if isinstance(data, ClaimMatrix):
+            self._reset_state()
+            claims = data
+        else:
+            if data is None:
+                corpus: RawDatabase = self._history
+            else:
+                self._reset_state()
+                self._history.extend(data)
+                corpus = self._history
+            corpus.require_non_empty()
+            claims = build_claim_matrix(corpus, strict=False)
+
+        result = self.make_solver().fit(claims)
+        self._absorb_fit(claims, result)
+        return self
+
+    def _reset_state(self) -> None:
+        """Drop all accumulated state ahead of a fresh fit."""
+        self._history = RawDatabase(strict=False)
+        self._since_last_fit = RawDatabase(strict=False)
+        self._batches_since_fit = 0
+        self._quality = None
+        self._scores = {}
+        self._result = None
+        self._claims = None
+        self.reports = []
+
+    def _absorb_fit(self, claims: ClaimMatrix, result: TruthResult) -> None:
+        """Record the outcome of a full fit and reset the streaming window."""
+        self._result = result
+        self._claims = claims
+        if result.source_quality is not None:
+            self._quality = result.source_quality
+        for fact in claims.facts:
+            self._scores[(fact.entity, str(fact.attribute))] = float(result.scores[fact.fact_id])
+        self._since_last_fit = RawDatabase(strict=False)
+        self._batches_since_fit = 0
+
+    # -- streaming lifecycle --------------------------------------------------------
+    def partial_fit(
+        self, data: ClaimBatch | Iterable[Triple | tuple]
+    ) -> "TruthEngine":
+        """Integrate one arriving batch (paper Section 5.4).
+
+        The batch's facts are scored with the closed-form LTMinc posterior
+        under the current source-quality estimate (falling back to the
+        per-fact voting proportion before any quality is learned), the batch
+        is accumulated into the history, and every
+        ``config.retrain_every`` batches the full model is re-fitted — on the
+        cumulative data, or (``config.cumulative=False``) only on the data
+        since the last re-fit with learned quality carried over as priors.
+
+        The step outcome is appended to :attr:`reports` and available as
+        :attr:`last_report`.
+        """
+        if isinstance(data, ClaimBatch):
+            batch = data
+        else:
+            batch = ClaimBatch(index=len(self.reports), triples=tuple(
+                t if isinstance(t, Triple) else Triple(*t) for t in data
+            ))
+        if len(batch) == 0:
+            raise StreamError("cannot integrate an empty batch")
+        batch_matrix = build_claim_matrix(batch.triples, strict=False)
+
+        if self._quality is not None:
+            priors = self._streaming_priors()
+            predictor = IncrementalLTM(
+                self._quality,
+                truth_prior=(priors.truth.positive, priors.truth.negative),
+            )
+            scores = predictor.fit(batch_matrix).scores
+        else:
+            # No quality learned yet: fall back to the per-fact voting proportion.
+            positives = batch_matrix.positive_counts_per_fact().astype(float)
+            totals = np.maximum(batch_matrix.claim_counts_per_fact().astype(float), 1.0)
+            scores = positives / totals
+
+        fact_scores = {
+            (fact.entity, str(fact.attribute)): float(scores[fact.fact_id])
+            for fact in batch_matrix.facts
+        }
+        self._scores.update(fact_scores)
+
+        self._history.extend(batch.triples)
+        self._since_last_fit.extend(batch.triples)
+        self._batches_since_fit += 1
+
+        retrained = False
+        if self.config.retrain_every and self._batches_since_fit >= self.config.retrain_every:
+            self._streaming_refit()
+            retrained = True
+
+        self.reports.append(
+            OnlineStepReport(
+                batch_index=batch.index,
+                num_triples=len(batch),
+                num_facts=batch_matrix.num_facts,
+                retrained=retrained,
+                fact_scores=fact_scores,
+            )
+        )
+        return self
+
+    def _streaming_refit(self) -> None:
+        """Periodic full re-fit of the streaming loop (paper Section 5.4)."""
+        priors_override: LTMPriors | None = None
+        if self.config.cumulative:
+            corpus = self._history
+        else:
+            corpus = self._since_last_fit if len(self._since_last_fit) else self._history
+            if self._quality is not None:
+                # Carry learned quality over as priors (Section 5.4), as soft
+                # pseudo-counts with a fixed strength of 100 virtual claims
+                # per source.
+                base = self._streaming_priors()
+                counts = np.ones((len(self._quality.source_names), 2, 2))
+                strength = 100.0
+                for i, _ in enumerate(self._quality.source_names):
+                    sens = float(self._quality.sensitivity[i])
+                    spec = float(self._quality.specificity[i])
+                    counts[i, 1, 1] = sens * strength
+                    counts[i, 1, 0] = (1 - sens) * strength
+                    counts[i, 0, 0] = spec * strength
+                    counts[i, 0, 1] = (1 - spec) * strength
+                priors_override = base.with_learned_quality(
+                    self._quality.source_names, counts
+                )
+
+        matrix = build_claim_matrix(corpus, strict=False)
+        result = self.make_solver(priors=priors_override).fit(matrix)
+        self._result = result
+        self._claims = matrix
+        if result.source_quality is not None:
+            self._quality = result.source_quality
+        # Refresh stored scores for all facts covered by the re-fit.
+        for fact in matrix.facts:
+            self._scores[(fact.entity, str(fact.attribute))] = float(result.scores[fact.fact_id])
+        self._since_last_fit = RawDatabase(strict=False)
+        self._batches_since_fit = 0
+
+    # -- prediction -----------------------------------------------------------------
+    def predict_proba(
+        self, data: Iterable[Triple | tuple] | RawDatabase | ClaimMatrix | None = None
+    ) -> np.ndarray:
+        """Per-fact truth probabilities.
+
+        With no argument, returns the scores of the last full fit.  Given new
+        triples or a claim matrix, scores them with the closed-form LTMinc
+        posterior under the learned source quality — serving-style prediction
+        with no sampling.
+        """
+        if data is None:
+            return self.result().scores
+        claims = data if isinstance(data, ClaimMatrix) else build_claim_matrix(data, strict=False)
+        if self._quality is None:
+            raise NotFittedError(
+                "predict_proba on new data needs learned source quality; "
+                "fit a quality-estimating method (e.g. 'ltm') first"
+            )
+        priors = self._streaming_priors()
+        predictor = IncrementalLTM(
+            self._quality,
+            truth_prior=(priors.truth.positive, priors.truth.negative),
+        )
+        return predictor.fit(claims).scores
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        method = type(self._solver).__name__ if self._solver is not None else self.config.method
+        return f"TruthEngine(method={method!r}, fitted={self.is_fitted})"
+
+
+def discover(
+    triples: Iterable[Triple | tuple] | RawDatabase,
+    method: str = "ltm",
+    *,
+    threshold: float = 0.5,
+    keep_workspace: bool = False,
+    registry: MethodRegistry | None = None,
+    **params: Any,
+) -> "IntegrationResult":
+    """One-liner truth discovery: raw triples in, merged records out.
+
+    Resolves ``method`` through the shared
+    :class:`~repro.engine.registry.MethodRegistry`, builds it with ``params``
+    (hyperparameters such as ``iterations`` and ``seed``) and runs the full
+    integration flow.  The produced scores are identical to fitting the
+    underlying solver directly on ``build_claim_matrix(triples)``.
+
+    Examples
+    --------
+    >>> import repro
+    >>> result = repro.discover(
+    ...     [
+    ...         ("Harry Potter", "Daniel Radcliffe", "IMDB"),
+    ...         ("Harry Potter", "Daniel Radcliffe", "Netflix"),
+    ...         ("Harry Potter", "Johnny Depp", "BadSource.com"),
+    ...     ],
+    ...     method="voting",
+    ... )
+    >>> result.accepted_values("Harry Potter")
+    ['Daniel Radcliffe']
+    """
+    from repro.pipeline.integrate import IntegrationPipeline
+
+    resolved = registry if registry is not None else default_registry()
+    solver = resolved.create(method, **params)
+    pipeline = IntegrationPipeline(
+        method=solver, threshold=threshold, keep_workspace=keep_workspace
+    )
+    return pipeline.run(triples)

@@ -1,0 +1,341 @@
+"""The unified method registry behind the :class:`~repro.engine.TruthEngine`.
+
+Every solver the library ships — the Latent Truth Model and its variants, the
+seven baselines, and the extension models — is registered here under a
+canonical string key together with per-method metadata (whether it supports
+incremental prediction, whether it estimates source quality, the range of its
+scores).  The registry is the single place a new backend has to be wired:
+once registered, a method is reachable from :class:`~repro.engine.TruthEngine`,
+:func:`repro.discover`, :class:`~repro.pipeline.IntegrationPipeline` and the
+``repro-truth`` CLI (``--method`` flag and ``methods`` subcommand) alike.
+
+Keys are normalised case-insensitively with ``-``/``_``/`` `` treated as
+equivalent, and each method may carry aliases, so ``"ltm"``, ``"LTM"``,
+``"three_estimates"`` and ``"3-Estimates"`` all resolve.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.baselines.avglog import AvgLog
+from repro.baselines.hubauthority import HubAuthority
+from repro.baselines.investment import Investment
+from repro.baselines.pooled_investment import PooledInvestment
+from repro.baselines.three_estimates import ThreeEstimates
+from repro.baselines.truthfinder import TruthFinder
+from repro.baselines.voting import Voting
+from repro.core.incremental import IncrementalLTM
+from repro.core.ltmpos import PositiveOnlyLTM
+from repro.core.model import LatentTruthModel
+from repro.exceptions import ConfigurationError
+
+__all__ = ["MethodSpec", "MethodRegistry", "default_registry", "register_default"]
+
+
+def _normalise_key(name: str) -> str:
+    """Canonicalise a method name for lookup: lowercase, separators unified."""
+    return name.strip().lower().replace("-", "_").replace(" ", "_")
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One registered truth-finding method and its metadata.
+
+    Attributes
+    ----------
+    key:
+        Canonical registry key (lowercase, underscore-separated).
+    factory:
+        Callable building a fresh solver instance from keyword arguments.
+    summary:
+        One-line human-readable description, shown by ``repro-truth methods``.
+    display_name:
+        The name the comparison harness and the paper's tables use
+        (e.g. ``"3-Estimates"`` for key ``three_estimates``).
+    supports_incremental:
+        Whether the method can score new claims from previously learned state
+        without a full re-fit (the LTMinc deployment of Section 5.4).
+    supports_quality:
+        Whether the fitted result carries a per-source
+        :class:`~repro.core.base.SourceQualityTable`.
+    output_range:
+        Range of the produced scores: ``"probability"`` for calibrated
+        posteriors, ``"normalised"`` for max-normalised confidence scores,
+        ``"real"`` for unbounded numeric estimates.
+    claim_based:
+        Whether the method consumes a standard
+        :class:`~repro.data.dataset.ClaimMatrix` (the extension models
+        consume numeric claims / per-type matrices instead and cannot be
+        driven through :class:`~repro.engine.TruthEngine`).
+    requires_quality:
+        Whether construction needs a previously learned quality table
+        (only LTMinc).
+    aliases:
+        Additional accepted names (matched after normalisation).
+    """
+
+    key: str
+    factory: Callable[..., Any]
+    summary: str
+    display_name: str = ""
+    supports_incremental: bool = False
+    supports_quality: bool = False
+    output_range: str = "probability"
+    claim_based: bool = True
+    requires_quality: bool = False
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.display_name:
+            object.__setattr__(self, "display_name", self.key)
+
+    def accepts(self, parameter: str) -> bool:
+        """Whether the factory's signature accepts keyword ``parameter``."""
+        try:
+            signature = inspect.signature(self.factory)
+        except (TypeError, ValueError):  # pragma: no cover - builtins only
+            return False
+        if any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+        ):
+            return True
+        return parameter in signature.parameters
+
+    def metadata(self) -> dict[str, Any]:
+        """The spec's metadata as a plain dict (for display and serialisation)."""
+        return {
+            "key": self.key,
+            "display_name": self.display_name,
+            "summary": self.summary,
+            "supports_incremental": self.supports_incremental,
+            "supports_quality": self.supports_quality,
+            "output_range": self.output_range,
+            "claim_based": self.claim_based,
+            "requires_quality": self.requires_quality,
+            "aliases": list(self.aliases),
+        }
+
+
+class MethodRegistry:
+    """A name-to-solver registry with alias resolution and metadata.
+
+    The registry maps canonical keys to :class:`MethodSpec` objects and keeps
+    an alias table so historical names (``"LTM"``, ``"3-Estimates"``) keep
+    resolving.  It is deliberately instance-based — tests and embedders can
+    build private registries — while :func:`default_registry` exposes the
+    process-wide one the engine, pipeline and CLI share.
+    """
+
+    def __init__(self) -> None:
+        self._specs: dict[str, MethodSpec] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------------------
+    def register(self, spec: MethodSpec, replace: bool = False) -> MethodSpec:
+        """Add ``spec`` to the registry and index its aliases."""
+        key = _normalise_key(spec.key)
+        if key != spec.key:
+            spec = MethodSpec(**{**spec.__dict__, "key": key})
+        if not replace and (key in self._specs or key in self._aliases):
+            raise ConfigurationError(f"method {spec.key!r} is already registered")
+        self._specs[key] = spec
+        for alias in spec.aliases:
+            normalised = _normalise_key(alias)
+            if normalised == key:
+                continue
+            if normalised in self._specs:
+                # Canonical keys win over aliases in resolve(), so such an
+                # alias would be silently dead — reject it outright.
+                raise ConfigurationError(
+                    f"alias {alias!r} collides with the registered method "
+                    f"{normalised!r}"
+                )
+            existing = self._aliases.get(normalised)
+            if not replace and existing is not None and existing != key:
+                raise ConfigurationError(
+                    f"alias {alias!r} already points at {existing!r}"
+                )
+            self._aliases[normalised] = key
+        return spec
+
+    def register_method(
+        self,
+        key: str,
+        factory: Callable[..., Any],
+        summary: str,
+        **metadata: Any,
+    ) -> MethodSpec:
+        """Convenience wrapper building and registering a :class:`MethodSpec`."""
+        return self.register(MethodSpec(key=key, factory=factory, summary=summary, **metadata))
+
+    # -- lookup ---------------------------------------------------------------------
+    def resolve(self, name: str) -> str:
+        """Return the canonical key for ``name`` (which may be an alias)."""
+        key = _normalise_key(name)
+        if key in self._specs:
+            return key
+        if key in self._aliases:
+            return self._aliases[key]
+        raise ConfigurationError(
+            f"unknown method {name!r}; registered methods: {sorted(self._specs)}"
+        )
+
+    def spec(self, name: str) -> MethodSpec:
+        """The :class:`MethodSpec` registered under ``name`` or one of its aliases."""
+        return self._specs[self.resolve(name)]
+
+    def create(self, name: str, **kwargs: Any) -> Any:
+        """Instantiate the solver registered under ``name`` with ``kwargs``."""
+        return self.spec(name).factory(**kwargs)
+
+    def names(self) -> list[str]:
+        """Canonical keys of every registered method, in registration order."""
+        return list(self._specs)
+
+    def specs(self) -> list[MethodSpec]:
+        """Every registered spec, in registration order."""
+        return list(self._specs.values())
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        try:
+            self.resolve(name)
+        except ConfigurationError:
+            return False
+        return True
+
+    def __iter__(self) -> Iterator[MethodSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MethodRegistry({sorted(self._specs)})"
+
+
+def _populate(registry: MethodRegistry) -> MethodRegistry:
+    """Register the library's full method catalogue into ``registry``."""
+    registry.register_method(
+        "ltm",
+        LatentTruthModel,
+        "Latent Truth Model: collapsed Gibbs, two-sided source quality (the paper's LTM)",
+        display_name="LTM",
+        supports_incremental=True,
+        supports_quality=True,
+        aliases=("latent_truth_model",),
+    )
+    registry.register_method(
+        "ltm_inc",
+        IncrementalLTM,
+        "LTMinc: closed-form scoring from previously learned source quality (Eq. 3)",
+        display_name="LTMinc",
+        supports_incremental=True,
+        supports_quality=True,
+        requires_quality=True,
+        aliases=("ltminc", "incremental_ltm"),
+    )
+    registry.register_method(
+        "ltm_pos",
+        PositiveOnlyLTM,
+        "LTM ablation fitted on positive claims only (one-sided quality)",
+        display_name="LTMpos",
+        supports_incremental=True,
+        supports_quality=True,
+        aliases=("ltmpos", "positive_only_ltm"),
+    )
+    registry.register_method(
+        "voting",
+        Voting,
+        "Majority voting: fraction of a fact's claims that are positive",
+    )
+    registry.register_method(
+        "truthfinder",
+        TruthFinder,
+        "TruthFinder (Yin et al. 2007): iterative trust / confidence propagation",
+        aliases=("truth_finder",),
+    )
+    registry.register_method(
+        "hub_authority",
+        HubAuthority,
+        "HITS on the bipartite source-fact graph of positive claims",
+        display_name="HubAuthority",
+        output_range="normalised",
+        aliases=("hubauthority", "hits"),
+    )
+    registry.register_method(
+        "avg_log",
+        AvgLog,
+        "AvgLog (Pasternack & Roth 2010): HITS with log-scaled claim counts",
+        display_name="AvgLog",
+        output_range="normalised",
+        aliases=("avglog",),
+    )
+    registry.register_method(
+        "investment",
+        Investment,
+        "Investment: sources invest credit in claims, repaid non-linearly",
+        display_name="Investment",
+        output_range="normalised",
+    )
+    registry.register_method(
+        "pooled_investment",
+        PooledInvestment,
+        "Investment with per-entity pooling of repayments",
+        display_name="PooledInvestment",
+        output_range="normalised",
+        aliases=("pooledinvestment",),
+    )
+    registry.register_method(
+        "three_estimates",
+        ThreeEstimates,
+        "3-Estimates (Galland et al. 2010): joint truth / source error / difficulty",
+        display_name="3-Estimates",
+        aliases=("3_estimates", "3estimates"),
+    )
+
+    # Extension models: not ClaimMatrix-based, registered for discovery and
+    # metadata but rejected by TruthEngine.fit with a pointed error.
+    from repro.extensions.gaussian_ltm import GaussianTruthModel
+    from repro.extensions.multi_attribute import MultiAttributeLTM
+
+    registry.register_method(
+        "gaussian_ltm",
+        GaussianTruthModel,
+        "Real-valued extension: Gaussian observation model over numeric claims",
+        display_name="GaussianLTM",
+        supports_quality=True,
+        output_range="real",
+        claim_based=False,
+        aliases=("gaussian",),
+    )
+    registry.register_method(
+        "multi_attribute",
+        MultiAttributeLTM,
+        "Joint LTM over several attribute types with cross-type quality sharing",
+        display_name="MultiAttributeLTM",
+        supports_quality=True,
+        claim_based=False,
+        aliases=("multiattribute", "multi_attribute_ltm"),
+    )
+    return registry
+
+
+_DEFAULT_REGISTRY: MethodRegistry | None = None
+
+
+def default_registry() -> MethodRegistry:
+    """The process-wide registry shared by the engine, pipeline and CLI."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        _DEFAULT_REGISTRY = _populate(MethodRegistry())
+    return _DEFAULT_REGISTRY
+
+
+def register_default(spec: MethodSpec, replace: bool = False) -> MethodSpec:
+    """Register ``spec`` into the shared default registry."""
+    return default_registry().register(spec, replace=replace)

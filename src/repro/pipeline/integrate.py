@@ -1,15 +1,26 @@
-"""The batch integration pipeline: raw triples in, merged records out."""
+"""The batch integration pipeline: raw triples in, merged records out.
+
+:class:`IntegrationPipeline` is the historical end-to-end entry point, kept
+as a thin adapter over the unified :class:`~repro.engine.TruthEngine`: it
+builds the claim matrix, hands it to the engine for fitting and thresholding,
+and optionally materialises the intermediate relational tables as a debug
+workspace.  New code can use :func:`repro.discover` for the same flow in one
+line, or drive :class:`~repro.engine.TruthEngine` directly.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
 from repro.core.model import LatentTruthModel
 from repro.data.claim_builder import ClaimTableBuilder
 from repro.data.dataset import ClaimMatrix
 from repro.data.raw import RawDatabase
+from repro.engine.config import EngineConfig
+from repro.engine.facade import TruthEngine
+from repro.engine.registry import default_registry
 from repro.exceptions import ConfigurationError
 from repro.store import Column, Database, Schema
 from repro.types import Triple
@@ -67,24 +78,38 @@ class IntegrationPipeline:
     Parameters
     ----------
     method:
-        The truth-finding method to use (defaults to
-        :class:`~repro.core.model.LatentTruthModel` with library defaults).
+        The truth-finding method to use: a
+        :class:`~repro.core.base.TruthMethod` instance, a registry key such
+        as ``"voting"`` (resolved through
+        :func:`repro.engine.default_registry` and built with
+        ``method_params``), or ``None`` for
+        :class:`~repro.core.model.LatentTruthModel` with library defaults.
     threshold:
         Truth-probability threshold above which a fact is accepted into the
         merged records.
     keep_workspace:
         Whether to materialise the intermediate relational tables in the
         result's ``workspace`` database (useful for debugging, costs memory).
+    **method_params:
+        Hyperparameters for registry construction when ``method`` is a
+        string (e.g. ``iterations``, ``seed``).
     """
 
     def __init__(
         self,
-        method: TruthMethod | None = None,
+        method: TruthMethod | str | None = None,
         threshold: float = 0.5,
         keep_workspace: bool = False,
+        **method_params: Any,
     ):
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError("threshold must lie in [0, 1]")
+        if isinstance(method, str):
+            method = default_registry().create(method, **method_params)
+        elif method_params:
+            raise ConfigurationError(
+                "method hyperparameters are only accepted with a string method name"
+            )
         self.method = method if method is not None else LatentTruthModel()
         self.threshold = threshold
         self.keep_workspace = keep_workspace
@@ -96,22 +121,15 @@ class IntegrationPipeline:
 
         builder = ClaimTableBuilder(raw)
         claims = builder.build()
-        truth_result = self.method.fit(claims)
-
-        merged: dict[str, list[str]] = {}
-        rejected: dict[str, list[str]] = {}
-        fact_scores: dict[tuple[str, str], float] = {}
-        for fact in claims.facts:
-            score = float(truth_result.scores[fact.fact_id])
-            fact_scores[(fact.entity, str(fact.attribute))] = score
-            bucket = merged if score >= self.threshold else rejected
-            bucket.setdefault(fact.entity, []).append(str(fact.attribute))
+        engine = TruthEngine(EngineConfig(threshold=self.threshold), solver=self.method)
+        engine.fit(claims)
+        truth_result = engine.result()
 
         workspace = self._build_workspace(raw, builder, claims, truth_result) if self.keep_workspace else None
         return IntegrationResult(
-            merged_records=merged,
-            rejected_records=rejected,
-            fact_scores=fact_scores,
+            merged_records=engine.merged_records(),
+            rejected_records=engine.rejected_records(),
+            fact_scores=engine.fact_scores,
             source_quality=truth_result.source_quality,
             truth_result=truth_result,
             claims=claims,

@@ -1,7 +1,9 @@
 """The online integration engine (paper Section 5.4).
 
-:class:`OnlineTruthFinder` consumes :class:`~repro.streaming.stream.ClaimBatch`
-objects one at a time.  For each batch it:
+:class:`OnlineTruthFinder` is the historical streaming entry point, kept as a
+thin adapter over the unified :class:`~repro.engine.TruthEngine`: each
+arriving :class:`~repro.streaming.stream.ClaimBatch` is handed to
+:meth:`~repro.engine.TruthEngine.partial_fit`, which
 
 1. builds the batch's claim matrix with the standard claim-generation rules;
 2. scores the batch's facts with the closed-form LTMinc posterior
@@ -14,21 +16,20 @@ objects one at a time.  For each batch it:
 This mirrors the deployment the paper recommends: "standard LTM be
 infrequently run offline to update source quality and LTMinc be deployed for
 online prediction".
+
+Deprecated: new code should construct a
+:class:`~repro.engine.TruthEngine` directly and drive the
+``partial_fit`` loop itself.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable
 
-import numpy as np
-
 from repro.core.base import SourceQualityTable
-from repro.core.incremental import IncrementalLTM
-from repro.core.model import LatentTruthModel
 from repro.core.priors import LTMPriors
-from repro.data.claim_builder import build_claim_matrix
-from repro.data.raw import RawDatabase
+from repro.engine.config import EngineConfig
+from repro.engine.facade import OnlineStepReport, TruthEngine
 from repro.exceptions import StreamError
 from repro.streaming.stream import ClaimBatch
 from repro.types import Triple
@@ -36,36 +37,11 @@ from repro.types import Triple
 __all__ = ["OnlineStepReport", "OnlineTruthFinder"]
 
 
-@dataclass
-class OnlineStepReport:
-    """What happened when one batch was integrated.
-
-    Attributes
-    ----------
-    batch_index:
-        Sequence number of the integrated batch.
-    num_triples, num_facts:
-        Size of the batch.
-    retrained:
-        Whether a full model re-fit happened after this batch.
-    fact_scores:
-        Mapping of ``(entity, attribute)`` to the truth probability assigned
-        by the incremental predictor.
-    """
-
-    batch_index: int
-    num_triples: int
-    num_facts: int
-    retrained: bool
-    fact_scores: dict[tuple[str, str], float] = field(default_factory=dict)
-
-    def accepted_facts(self, threshold: float = 0.5) -> list[tuple[str, str]]:
-        """Facts accepted as true at ``threshold``."""
-        return [pair for pair, score in self.fact_scores.items() if score >= threshold]
-
-
 class OnlineTruthFinder:
     """Streaming truth finder with periodic batch re-training.
+
+    A deprecation shim over :class:`~repro.engine.TruthEngine` configured for
+    streaming LTM (``method="ltm"``, ``partial_fit`` loop).
 
     Parameters
     ----------
@@ -94,133 +70,107 @@ class OnlineTruthFinder:
     ):
         if retrain_every < 0:
             raise StreamError("retrain_every must be non-negative")
-        self.priors = priors if priors is not None else LTMPriors()
-        self.retrain_every = retrain_every
-        self.iterations = iterations
-        self.cumulative = cumulative
-        self.seed = seed
+        self.engine = TruthEngine(
+            EngineConfig(
+                method="ltm",
+                params={
+                    "priors": priors if priors is not None else LTMPriors(),
+                    "iterations": iterations,
+                    "seed": seed,
+                },
+                retrain_every=retrain_every,
+                cumulative=cumulative,
+            )
+        )
 
-        self._history = RawDatabase(strict=False)
-        self._since_last_fit = RawDatabase(strict=False)
-        self._batches_since_fit = 0
-        self._quality: SourceQualityTable | None = None
-        self._scores: dict[tuple[str, str], float] = {}
-        self.reports: list[OnlineStepReport] = []
+    # -- configuration ------------------------------------------------------------------
+    # The historical attributes stay readable and writable mid-stream (the
+    # pre-engine implementation read them on every batch); they live in the
+    # engine config, so mutations rewrite it.
+    @property
+    def priors(self) -> LTMPriors:
+        """Priors of the underlying LTM."""
+        return self.engine.config.params["priors"]
+
+    @priors.setter
+    def priors(self, value: LTMPriors | None) -> None:
+        self.engine.config = self.engine.config.with_params(
+            priors=value if value is not None else LTMPriors()
+        )
+
+    @property
+    def retrain_every(self) -> int:
+        """Current re-training cadence (0 = disabled)."""
+        return self.engine.config.retrain_every
+
+    @retrain_every.setter
+    def retrain_every(self, value: int) -> None:
+        if value < 0:
+            raise StreamError("retrain_every must be non-negative")
+        self.engine.config = self.engine.config.with_overrides(retrain_every=value)
+
+    @property
+    def iterations(self) -> int:
+        """Gibbs iterations of each re-fit."""
+        return self.engine.config.params["iterations"]
+
+    @iterations.setter
+    def iterations(self, value: int) -> None:
+        self.engine.config = self.engine.config.with_params(iterations=value)
+
+    @property
+    def cumulative(self) -> bool:
+        """Whether re-fits use all data seen so far."""
+        return self.engine.config.cumulative
+
+    @cumulative.setter
+    def cumulative(self, value: bool) -> None:
+        self.engine.config = self.engine.config.with_overrides(cumulative=value)
+
+    @property
+    def seed(self) -> int | None:
+        """Random seed of the re-fits."""
+        return self.engine.config.params["seed"]
+
+    @seed.setter
+    def seed(self, value: int | None) -> None:
+        self.engine.config = self.engine.config.with_params(seed=value)
 
     # -- state access -------------------------------------------------------------------
     @property
     def source_quality(self) -> SourceQualityTable | None:
         """The current source-quality estimate (``None`` before the first re-fit)."""
-        return self._quality
+        return self.engine.source_quality
 
     @property
     def fact_scores(self) -> dict[tuple[str, str], float]:
         """Latest truth probability of every fact integrated so far."""
-        return dict(self._scores)
+        return self.engine.fact_scores
+
+    @property
+    def reports(self) -> list[OnlineStepReport]:
+        """Step reports of every integrated batch, in arrival order."""
+        return self.engine.reports
 
     def merged_records(self, threshold: float = 0.5) -> dict[str, list[str]]:
         """The integrated output: entity -> accepted attribute values."""
-        merged: dict[str, list[str]] = {}
-        for (entity, attribute), score in self._scores.items():
-            if score >= threshold:
-                merged.setdefault(entity, []).append(str(attribute))
-        return merged
+        return self.engine.merged_records(threshold)
 
     # -- integration --------------------------------------------------------------------
     def bootstrap(self, triples: Iterable[Triple]) -> SourceQualityTable:
         """Fit the model on an initial historical corpus to obtain starting quality."""
-        added = self._history.extend(triples)
+        added = self.engine.ingest(triples)
         if added == 0:
             raise StreamError("bootstrap requires at least one new triple")
-        self._refit()
-        return self._quality  # type: ignore[return-value]
+        self.engine.fit()
+        return self.engine.source_quality  # type: ignore[return-value]
 
     def integrate_batch(self, batch: ClaimBatch) -> OnlineStepReport:
         """Integrate one arriving batch and return a step report."""
-        if len(batch) == 0:
-            raise StreamError("cannot integrate an empty batch")
-        batch_matrix = build_claim_matrix(batch.triples, strict=False)
-
-        if self._quality is not None:
-            predictor = IncrementalLTM(self._quality, truth_prior=(
-                self.priors.truth.positive, self.priors.truth.negative
-            ))
-            result = predictor.fit(batch_matrix)
-            scores = result.scores
-        else:
-            # No quality learned yet: fall back to the per-fact voting proportion.
-            positives = batch_matrix.positive_counts_per_fact().astype(float)
-            totals = np.maximum(batch_matrix.claim_counts_per_fact().astype(float), 1.0)
-            scores = positives / totals
-
-        fact_scores = {
-            (fact.entity, str(fact.attribute)): float(scores[fact.fact_id])
-            for fact in batch_matrix.facts
-        }
-        self._scores.update(fact_scores)
-
-        self._history.extend(batch.triples)
-        self._since_last_fit.extend(batch.triples)
-        self._batches_since_fit += 1
-
-        retrained = False
-        if self.retrain_every and self._batches_since_fit >= self.retrain_every:
-            self._refit()
-            retrained = True
-
-        report = OnlineStepReport(
-            batch_index=batch.index,
-            num_triples=len(batch),
-            num_facts=batch_matrix.num_facts,
-            retrained=retrained,
-            fact_scores=fact_scores,
-        )
-        self.reports.append(report)
+        report = self.engine.partial_fit(batch).last_report
+        assert report is not None  # partial_fit always appends a report
         return report
 
     def run(self, batches: Iterable[ClaimBatch]) -> list[OnlineStepReport]:
         """Integrate every batch of a stream and return all step reports."""
         return [self.integrate_batch(batch) for batch in batches]
-
-    # -- re-training ---------------------------------------------------------------------
-    def _refit(self) -> None:
-        if self.cumulative:
-            corpus = self._history
-            priors = self.priors
-        else:
-            corpus = self._since_last_fit if len(self._since_last_fit) else self._history
-            priors = self.priors
-            if self._quality is not None:
-                # Carry learned quality over as priors (Section 5.4).
-                counts = np.stack(
-                    [
-                        np.array(
-                            [
-                                [1.0, 1.0],
-                                [1.0, 1.0],
-                            ]
-                        )
-                        for _ in self._quality.source_names
-                    ]
-                )
-                # Translate the quality table into soft pseudo-counts with a
-                # fixed strength of 100 virtual claims per source.
-                strength = 100.0
-                for i, _ in enumerate(self._quality.source_names):
-                    sens = float(self._quality.sensitivity[i])
-                    spec = float(self._quality.specificity[i])
-                    counts[i, 1, 1] = sens * strength
-                    counts[i, 1, 0] = (1 - sens) * strength
-                    counts[i, 0, 0] = spec * strength
-                    counts[i, 0, 1] = (1 - spec) * strength
-                priors = self.priors.with_learned_quality(self._quality.source_names, counts)
-
-        matrix = build_claim_matrix(corpus, strict=False)
-        model = LatentTruthModel(priors=priors, iterations=self.iterations, seed=self.seed)
-        result = model.fit(matrix)
-        self._quality = result.source_quality
-        # Refresh stored scores for all facts covered by the refit.
-        for fact in matrix.facts:
-            self._scores[(fact.entity, str(fact.attribute))] = float(result.scores[fact.fact_id])
-        self._since_last_fit = RawDatabase(strict=False)
-        self._batches_since_fit = 0

@@ -35,6 +35,25 @@ class TestTruthResult:
                 precision=np.array([0.5, 0.5]),
             )
 
+    def test_quality_table_validates_accuracy_shape(self):
+        with pytest.raises(EvaluationError, match="accuracy"):
+            SourceQualityTable(
+                source_names=("a", "b"),
+                sensitivity=np.array([0.5, 0.5]),
+                specificity=np.array([0.5, 0.5]),
+                precision=np.array([0.5, 0.5]),
+                accuracy=np.array([0.5]),
+            )
+
+    def test_quality_table_accuracy_defaults_to_nan(self):
+        table = SourceQualityTable(
+            source_names=("a",),
+            sensitivity=np.array([0.5]),
+            specificity=np.array([0.5]),
+            precision=np.array([0.5]),
+        )
+        assert np.isnan(table.accuracy).all()
+
     def test_quality_table_unknown_source(self):
         table = SourceQualityTable(
             source_names=("a",),

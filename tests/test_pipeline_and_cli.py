@@ -126,6 +126,31 @@ class TestCli:
         out = capsys.readouterr().out
         assert "LTM" in out and "Voting" in out
 
+    def test_integrate_command_with_method_flag(self, tmp_path, paper_raw, capsys):
+        triples_path = tmp_path / "triples.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        code = main(["integrate", str(triples_path), "--method", "voting"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Merged records" in out
+        # Voting estimates no source quality, so no quality section is printed.
+        assert "Source quality" not in out
+
+    def test_integrate_command_unknown_method(self, tmp_path, paper_raw, capsys):
+        triples_path = tmp_path / "triples.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        code = main(["integrate", str(triples_path), "--method", "wat"])
+        assert code == 2
+        assert "unknown method" in capsys.readouterr().err
+
+    def test_methods_command_lists_registry(self, capsys):
+        code = main(["methods"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for key in ("ltm", "voting", "three_estimates", "gaussian_ltm"):
+            assert key in out
+        assert "incremental" in out and "quality" in out
+
     def test_compare_command_no_matching_labels(self, tmp_path, paper_raw, capsys):
         triples_path = tmp_path / "triples.tsv"
         labels_path = tmp_path / "labels.tsv"
