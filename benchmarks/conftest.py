@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.baselines import default_method_suite
+from repro.engine.registry import method_suite
 from repro.evaluation.comparison import compare_methods
 from repro.synth.books import BookAuthorConfig, BookAuthorSimulator
 from repro.synth.movies import MovieDirectorConfig, MovieDirectorSimulator
@@ -65,7 +65,7 @@ def movie_dataset():
 @pytest.fixture(scope="session")
 def book_comparison(book_dataset):
     """All ten methods fitted and graded on the book dataset (shared by E2-E4)."""
-    suite = default_method_suite(iterations=LTM_ITERATIONS, seed=SEED)
+    suite = method_suite(iterations=LTM_ITERATIONS, seed=SEED)
     return compare_methods(
         book_dataset,
         suite,
@@ -77,7 +77,7 @@ def book_comparison(book_dataset):
 @pytest.fixture(scope="session")
 def movie_comparison(movie_dataset):
     """All ten methods fitted and graded on the movie dataset (shared by E2-E4, E8)."""
-    suite = default_method_suite(iterations=LTM_ITERATIONS, seed=SEED)
+    suite = method_suite(iterations=LTM_ITERATIONS, seed=SEED)
     return compare_methods(
         movie_dataset,
         suite,

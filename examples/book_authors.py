@@ -12,7 +12,7 @@ Run with::
 
 import sys
 
-from repro import BookAuthorConfig, BookAuthorSimulator, LatentTruthModel, default_method_suite
+from repro import BookAuthorConfig, BookAuthorSimulator, method_suite
 from repro.evaluation import compare_methods
 from repro.pipeline import format_quality_report
 
@@ -30,7 +30,7 @@ def main(num_books: int = 300) -> None:
     print("Dataset:", dataset.summary())
 
     print("\nRunning the Table-7 method comparison (threshold 0.5) ...")
-    suite = default_method_suite(iterations=100, seed=7)
+    suite = method_suite(iterations=100, seed=7)
     table = compare_methods(
         dataset,
         suite,

@@ -12,9 +12,16 @@ The canonical API is the unified :mod:`repro.engine`: a
 :class:`~repro.engine.TruthEngine` facade with a sklearn-style lifecycle
 (``fit`` / ``partial_fit`` / ``predict_proba`` / ``quality_report``), built
 from a declarative :class:`~repro.engine.EngineConfig` and resolving solvers
-through the :class:`~repro.engine.MethodRegistry`.  The historical entry
-points (:class:`IntegrationPipeline`, :class:`OnlineTruthFinder`,
-``default_method_suite``) remain as thin adapters over it.
+through the :class:`~repro.engine.MethodRegistry`.  On the data side,
+:mod:`repro.io` is the single ingestion seam: every workload is a
+:class:`~repro.io.DataSource` (in-memory triples, triple files, JSON dumps,
+relational tables, the simulators), named sources live in the
+:class:`~repro.io.DatasetCatalog`, and anything triple-shaped is coerced
+with :func:`repro.io.as_source` — so ``repro.discover("books")`` or
+``TruthEngine().fit("movies")`` just work.  The historical entry points
+(:class:`IntegrationPipeline`, :class:`OnlineTruthFinder`,
+``default_method_suite``) remain as deprecated thin adapters over the
+engine.
 
 Quickstart
 ----------
@@ -81,7 +88,7 @@ from repro.synth import (
     generate_ltm_dataset,
 )
 from repro.streaming import ClaimStream, OnlineTruthFinder
-from repro.pipeline import IntegrationPipeline, IntegrationResult
+from repro.pipeline import IntegrationPipeline, IntegrationResult, run_integration
 from repro.engine import (
     EngineConfig,
     MethodRegistry,
@@ -89,9 +96,19 @@ from repro.engine import (
     TruthEngine,
     default_registry,
     discover,
+    method_suite,
+)
+from repro.io import (
+    DataSource,
+    DatasetCatalog,
+    DatasetSpec,
+    SourceSchema,
+    as_source,
+    default_catalog,
+    register_dataset,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -102,6 +119,16 @@ __all__ = [
     "MethodSpec",
     "default_registry",
     "discover",
+    "method_suite",
+    "run_integration",
+    # unified ingestion (canonical data-side API)
+    "DataSource",
+    "SourceSchema",
+    "DatasetCatalog",
+    "DatasetSpec",
+    "as_source",
+    "default_catalog",
+    "register_dataset",
     # data model
     "Triple",
     "RawDatabase",

@@ -3,18 +3,16 @@
 This module used to hold its own factory table.  It is now a thin adapter
 over the unified :class:`~repro.engine.registry.MethodRegistry`, kept so the
 historical entry points (``all_methods``, ``get_method``,
-``default_method_suite``) continue to work unchanged.  New code should
-resolve solvers through :func:`repro.engine.default_registry` (or simply use
-:class:`repro.engine.TruthEngine` / :func:`repro.discover`).
-
-:func:`default_method_suite` builds fresh, consistently-configured instances
-of the nine methods of the paper's Table 7 / Figures 2-3 comparison that can
-be fitted directly on a claim matrix (LTMinc needs a previously learned
-quality table and is constructed separately by the evaluation protocol).
+``default_method_suite``) continue to work unchanged — each now emits a
+:class:`DeprecationWarning` and delegates.  New code should resolve solvers
+through :func:`repro.engine.default_registry`, build the comparison suite
+with :func:`repro.engine.registry.method_suite`, or simply use
+:class:`repro.engine.TruthEngine` / :func:`repro.discover`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Mapping
 
 from repro.core.base import TruthMethod
@@ -37,23 +35,36 @@ _LEGACY_SUITE = (
 )
 
 
+def _deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.baselines.registry.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def all_methods() -> list[str]:
     """Names of every method of the legacy comparison registry.
 
-    Deprecated: prefer ``default_registry().names()`` which also covers the
-    incremental and extension models.
+    .. deprecated:: 1.2
+        Use ``repro.engine.default_registry().names()``, which also covers
+        the incremental and extension models.
     """
+    _deprecated("all_methods", "repro.engine.default_registry().names()")
     return list(_LEGACY_SUITE)
 
 
 def get_method(name: str, **kwargs) -> TruthMethod:
     """Instantiate the method registered under ``name`` with ``kwargs``.
 
-    Deprecated: prefer ``default_registry().create(name, **kwargs)``.  Names
-    are resolved through the unified registry, so both the historical
+    Names are resolved through the unified registry, so both the historical
     display names (``"LTM"``, ``"3-Estimates"``) and the canonical keys
     (``"ltm"``, ``"three_estimates"``) work.
+
+    .. deprecated:: 1.2
+        Use ``repro.engine.default_registry().create(name, **kwargs)``.
     """
+    _deprecated("get_method", "repro.engine.default_registry().create(...)")
     from repro.engine.registry import default_registry
 
     return default_registry().create(name, **kwargs)
@@ -67,6 +78,10 @@ def default_method_suite(
 ) -> list[TruthMethod]:
     """Build the standard comparison suite (every method except LTMinc).
 
+    .. deprecated:: 1.2
+        Use :func:`repro.engine.registry.method_suite`, which this shim
+        delegates to.
+
     Parameters
     ----------
     priors:
@@ -79,31 +94,12 @@ def default_method_suite(
         Optional mapping of method name to a Boolean; methods mapped to
         ``False`` are skipped.
     """
-    from repro.engine.registry import default_registry
+    _deprecated("default_method_suite", "repro.engine.registry.method_suite")
+    from repro.engine.registry import method_suite
 
-    registry = default_registry()
-    include = dict(include or {})
-
-    def wanted(name: str) -> bool:
-        return include.get(name, True)
-
-    sampled_kwargs = {"priors": priors, "iterations": iterations, "seed": seed}
-    suite: list[TruthMethod] = []
-    # Paper presentation order (LTM first, heuristic baselines after).
-    for name in (
-        "LTM",
-        "3-Estimates",
-        "Voting",
-        "TruthFinder",
-        "Investment",
-        "LTMpos",
-        "HubAuthority",
-        "AvgLog",
-        "PooledInvestment",
-    ):
-        if not wanted(name):
-            continue
-        spec = registry.spec(name)
-        kwargs = sampled_kwargs if spec.accepts("priors") else {}
-        suite.append(registry.create(name, **kwargs))
-    return suite
+    return method_suite(
+        priors=priors,
+        iterations=iterations,
+        seed=seed,
+        include=dict(include) if include is not None else None,
+    )

@@ -1,30 +1,34 @@
-"""Command-line interface: simulate datasets, integrate triple files, compare methods.
+"""Command-line interface: simulate datasets, integrate any source, compare methods.
 
-The CLI is a thin wrapper over the unified :mod:`repro.engine` API; it exists
-so that a downstream user can reproduce the core workflow without writing
-Python:
+The CLI is a thin wrapper over the unified :mod:`repro.engine` /
+:mod:`repro.io` APIs; it exists so that a downstream user can reproduce the
+core workflow without writing Python:
 
 * ``repro-truth simulate books out.tsv`` — write a simulated book-seller crawl;
 * ``repro-truth integrate in.tsv --method ltm`` — run any registered method
   on a triple file and print the merged records and the source-quality report;
+* ``repro-truth integrate --source books`` — the same, but reading from any
+  dataset-catalog key (or file path) resolved through :mod:`repro.io`;
 * ``repro-truth compare in.tsv labels.tsv`` — run the full method comparison
   against a ground-truth label file;
-* ``repro-truth methods`` — list every registered solver with its metadata.
+* ``repro-truth methods`` — list every registered solver with its metadata;
+* ``repro-truth datasets`` — list every catalog dataset with its metadata.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from repro.baselines import default_method_suite
 from repro.data.claim_builder import build_dataset
 from repro.data.loaders import load_labels_csv, load_triples_csv, save_triples_csv
 from repro.engine.facade import discover
-from repro.engine.registry import default_registry
+from repro.engine.registry import default_registry, method_suite
 from repro.evaluation.comparison import compare_methods
-from repro.exceptions import ConfigurationError, EmptyDatasetError
+from repro.exceptions import ConfigurationError, DataModelError, EmptyDatasetError
+from repro.io.catalog import as_source, default_catalog
 from repro.pipeline.report import (
     format_integration_summary,
     format_merged_records,
@@ -33,7 +37,7 @@ from repro.pipeline.report import (
 from repro.synth.books import BookAuthorConfig, BookAuthorSimulator
 from repro.synth.movies import MovieDirectorConfig, MovieDirectorSimulator
 
-__all__ = ["main", "build_parser", "format_method_table"]
+__all__ = ["main", "build_parser", "format_method_table", "format_dataset_table"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,8 +54,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--entities", type=int, default=None, help="number of entities to simulate")
     simulate.add_argument("--seed", type=int, default=17, help="random seed")
 
-    integrate = subparsers.add_parser("integrate", help="integrate a triple TSV")
-    integrate.add_argument("input", help="triple TSV with header entity/attribute/source")
+    integrate = subparsers.add_parser(
+        "integrate", help="integrate a triple file or catalog dataset"
+    )
+    integrate.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="triple file with header entity/attribute/source (or a catalog key)",
+    )
+    integrate.add_argument(
+        "--source",
+        default=None,
+        help="dataset to integrate: a catalog key (see 'repro-truth datasets') or a file path",
+    )
     integrate.add_argument(
         "--method",
         default="ltm",
@@ -74,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=7, help="random seed")
 
     subparsers.add_parser("methods", help="list registered truth methods and their metadata")
+    subparsers.add_parser("datasets", help="list catalog datasets and their metadata")
     return parser
 
 
@@ -97,23 +114,24 @@ def _run_simulate(args: argparse.Namespace) -> int:
             )
         dataset = MovieDirectorSimulator(config).generate()
 
-    # Re-derive raw triples from the positive claims of the simulated dataset.
-    from repro.types import Triple
+    # Write the dataset's raw triples (its positive claims) through the
+    # DataSource view of the simulated dataset.
+    from repro.io.sources import DatasetSource
 
-    matrix = dataset.claims
-    triples = [
-        Triple(matrix.fact(int(f)).entity, matrix.fact(int(f)).attribute, matrix.source_names[int(s)])
-        for f, s, o in zip(matrix.claim_fact, matrix.claim_source, matrix.claim_obs)
-        if o
-    ]
-    count = save_triples_csv(triples, args.output)
+    source = DatasetSource(dataset)
+    count = save_triples_csv(source.iter_triples(), args.output)
     print(f"wrote {count} triples ({dataset.claims.num_facts} facts, "
           f"{dataset.claims.num_sources} sources) to {args.output}")
     return 0
 
 
 def _run_integrate(args: argparse.Namespace) -> int:
-    raw = load_triples_csv(args.input)
+    if (args.input is None) == (args.source is None):
+        print(
+            "error: give exactly one of a positional input file or --source",
+            file=sys.stderr,
+        )
+        return 2
     registry = default_registry()
     try:
         spec = registry.spec(args.method)
@@ -144,8 +162,16 @@ def _run_integrate(args: argparse.Namespace) -> int:
     if spec.accepts("seed"):
         params["seed"] = args.seed
     try:
-        result = discover(raw, method=args.method, threshold=args.threshold, **params)
-    except (ConfigurationError, EmptyDatasetError, TypeError) as exc:
+        if args.source is not None:
+            # --source resolves catalog-first (keys shadow same-named files).
+            source = as_source(args.source)
+        else:
+            # The positional input keeps the historical file-first semantics:
+            # a local file named like a catalog key still means the file.
+            path = Path(args.input)
+            source = as_source(path) if path.exists() else as_source(args.input)
+        result = discover(source, method=args.method, threshold=args.threshold, **params)
+    except (ConfigurationError, DataModelError, EmptyDatasetError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -169,7 +195,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     if not dataset.labels:
         print("error: none of the labelled (entity, attribute) pairs appear in the data", file=sys.stderr)
         return 2
-    suite = default_method_suite(iterations=args.iterations, seed=args.seed)
+    suite = method_suite(iterations=args.iterations, seed=args.seed)
     # The LTMinc protocol needs unlabelled entities to learn source quality from;
     # skip it when every entity in the file is labelled.
     labelled_entities = {dataset.claims.fact(f).entity for f in dataset.labels}
@@ -184,9 +210,21 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_table(header: tuple[str, ...], rows: list[tuple[str, ...]]) -> str:
+    """Fixed-width rendering with the last column left unpadded."""
+    fixed = len(header) - 1
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(fixed)]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(fixed)) + "  " + header[fixed],
+        "  ".join("-" * widths[i] for i in range(fixed)) + "  " + "-" * len(header[fixed]),
+    ]
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(fixed)) + "  " + row[fixed])
+    return "\n".join(lines)
+
+
 def format_method_table() -> str:
     """A fixed-width table of every registered method and its metadata."""
-    specs = default_registry().specs()
     rows = [
         (
             spec.key,
@@ -196,21 +234,35 @@ def format_method_table() -> str:
             spec.output_range,
             spec.summary,
         )
-        for spec in specs
+        for spec in default_registry().specs()
     ]
     header = ("method", "display", "incremental", "quality", "scores", "description")
-    widths = [max(len(header[i]), *(len(row[i]) for row in rows)) for i in range(5)]
-    lines = [
-        "  ".join(header[i].ljust(widths[i]) for i in range(5)) + "  " + header[5],
-        "  ".join("-" * widths[i] for i in range(5)) + "  " + "-" * len(header[5]),
+    return _format_table(header, rows)
+
+
+def format_dataset_table() -> str:
+    """A fixed-width table of every catalog dataset and its metadata."""
+    rows = [
+        (
+            spec.key,
+            spec.kind,
+            "yes" if spec.has_labels else "no",
+            ", ".join(spec.aliases) if spec.aliases else "-",
+            spec.summary,
+        )
+        for spec in default_catalog().specs()
     ]
-    for row in rows:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(5)) + "  " + row[5])
-    return "\n".join(lines)
+    header = ("dataset", "kind", "labels", "aliases", "description")
+    return _format_table(header, rows)
 
 
 def _run_methods(args: argparse.Namespace) -> int:
     print(format_method_table())
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    print(format_dataset_table())
     return 0
 
 
@@ -226,6 +278,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_compare(args)
     if args.command == "methods":
         return _run_methods(args)
+    if args.command == "datasets":
+        return _run_datasets(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -63,10 +63,18 @@ class ClaimMatrix:
 
         self._validate_ids(claim_fact, claim_source)
 
-        order = np.argsort(claim_fact, kind="stable")
-        self.claim_fact = claim_fact[order]
-        self.claim_source = claim_source[order]
-        self.claim_obs = claim_obs[order]
+        if claim_fact.size and np.any(claim_fact[1:] < claim_fact[:-1]):
+            order = np.argsort(claim_fact, kind="stable")
+            self.claim_fact = claim_fact[order]
+            self.claim_source = claim_source[order]
+            self.claim_obs = claim_obs[order]
+        else:
+            # Already fact-sorted (e.g. the bulk ingest path): skip the
+            # O(n log n) re-sort, but still copy — the matrix must own its
+            # arrays, not alias buffers the caller may mutate.
+            self.claim_fact = claim_fact.copy()
+            self.claim_source = claim_source.copy()
+            self.claim_obs = claim_obs.copy()
 
         # CSR pointer over facts: claims of fact f are fact_ptr[f]:fact_ptr[f+1].
         counts = np.bincount(self.claim_fact, minlength=self.num_facts)

@@ -3,6 +3,13 @@
 Formats are deliberately plain (CSV/TSV and JSON) so that datasets produced by
 the simulators in :mod:`repro.synth` can be written to disk once and reloaded
 by examples, tests and benchmarks without regeneration.
+
+The delimited writers and readers share one explicit csv dialect
+(minimal quoting with ``"`` as the quote character), so a save → load cycle
+is lossless even when values contain the delimiter, quotes or newlines — a
+property-based round-trip test pins this down.  Note that values are read
+back as strings: numeric attribute values survive with their ``str()``
+rendering.
 """
 
 from __future__ import annotations
@@ -31,14 +38,38 @@ __all__ = [
 
 
 # ---------------------------------------------------------------------------
+# Shared delimited dialect
+# ---------------------------------------------------------------------------
+#: csv options shared by every delimited writer *and* reader, so values
+#: containing the delimiter, quotes or newlines survive a save → load cycle.
+_CSV_DIALECT = {"quotechar": '"', "quoting": csv.QUOTE_MINIMAL, "doublequote": True}
+
+
+def _check_delimiter(delimiter: str) -> str:
+    if len(delimiter) != 1:
+        raise DataModelError(f"delimiter must be a single character, got {delimiter!r}")
+    if delimiter in '"\r\n':
+        raise DataModelError(
+            f"delimiter {delimiter!r} collides with the csv quote/newline characters"
+        )
+    return delimiter
+
+
+# ---------------------------------------------------------------------------
 # Raw triples (entity, attribute, source)
 # ---------------------------------------------------------------------------
 def save_triples_csv(triples: Iterable[Triple] | RawDatabase, path: str | Path, delimiter: str = "\t") -> int:
-    """Write triples to a delimited text file with a header row; return row count."""
+    """Write triples to a delimited text file with a header row; return row count.
+
+    Values containing the delimiter, quotes or newlines are quoted, so
+    :func:`load_triples_csv` (with the same delimiter) reads them back
+    verbatim.  Non-string values are written as their ``str()`` rendering.
+    """
     path = Path(path)
+    _check_delimiter(delimiter)
     count = 0
     with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
+        writer = csv.writer(handle, delimiter=delimiter, **_CSV_DIALECT)
         writer.writerow(["entity", "attribute", "source"])
         for triple in triples:
             writer.writerow([triple.entity, triple.attribute, triple.source])
@@ -49,9 +80,10 @@ def save_triples_csv(triples: Iterable[Triple] | RawDatabase, path: str | Path, 
 def load_triples_csv(path: str | Path, delimiter: str = "\t", strict: bool = False) -> RawDatabase:
     """Read a delimited triple file (with header) into a :class:`RawDatabase`."""
     path = Path(path)
+    _check_delimiter(delimiter)
     raw = RawDatabase(strict=strict)
     with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
+        reader = csv.reader(handle, delimiter=delimiter, **_CSV_DIALECT)
         header = next(reader, None)
         if header is None:
             raise DataModelError(f"triple file {path} is empty")
@@ -77,9 +109,10 @@ def save_labels_csv(
 ) -> int:
     """Write ``(entity, attribute) -> truth`` labels to a delimited file."""
     path = Path(path)
+    _check_delimiter(delimiter)
     count = 0
     with path.open("w", newline="", encoding="utf-8") as handle:
-        writer = csv.writer(handle, delimiter=delimiter)
+        writer = csv.writer(handle, delimiter=delimiter, **_CSV_DIALECT)
         writer.writerow(["entity", "attribute", "truth"])
         for (entity, attribute), value in labels.items():
             writer.writerow([entity, attribute, int(bool(value))])
@@ -90,18 +123,28 @@ def save_labels_csv(
 def load_labels_csv(path: str | Path, delimiter: str = "\t") -> dict[tuple[str, str], bool]:
     """Read ``(entity, attribute) -> truth`` labels from a delimited file."""
     path = Path(path)
+    _check_delimiter(delimiter)
     labels: dict[tuple[str, str], bool] = {}
     with path.open("r", newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle, delimiter=delimiter)
+        reader = csv.reader(handle, delimiter=delimiter, **_CSV_DIALECT)
         header = next(reader, None)
         if header is None:
             raise DataModelError(f"label file {path} is empty")
+        expected = ["entity", "attribute", "truth"]
+        if [h.strip().lower() for h in header] != expected:
+            raise DataModelError(f"label file {path} must have header {expected}, got {header}")
         for line_no, row in enumerate(reader, start=2):
             if not row:
                 continue
             if len(row) != 3:
                 raise DataModelError(f"{path}:{line_no}: expected 3 columns, got {len(row)}")
-            labels[(row[0], row[1])] = bool(int(row[2]))
+            try:
+                truth = int(row[2])
+            except ValueError as exc:
+                raise DataModelError(
+                    f"{path}:{line_no}: truth column must be 0 or 1, got {row[2]!r}"
+                ) from exc
+            labels[(row[0], row[1])] = bool(truth)
     return labels
 
 

@@ -23,6 +23,7 @@ from repro.engine.registry import (
     MethodRegistry,
     MethodSpec,
     default_registry,
+    method_suite,
     register_default,
 )
 from repro.engine.facade import OnlineStepReport, TruthEngine, discover
@@ -35,5 +36,6 @@ __all__ = [
     "TruthEngine",
     "default_registry",
     "discover",
+    "method_suite",
     "register_default",
 ]

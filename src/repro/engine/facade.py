@@ -32,7 +32,9 @@ The :func:`discover` one-liner covers the quickstart path::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
@@ -41,8 +43,9 @@ from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
 from repro.core.incremental import IncrementalLTM
 from repro.core.priors import LTMPriors
 from repro.data.claim_builder import build_claim_matrix
-from repro.data.dataset import ClaimMatrix
+from repro.data.dataset import ClaimMatrix, TruthDataset
 from repro.data.raw import RawDatabase
+from repro.store.table import Table
 from repro.engine.config import EngineConfig
 from repro.engine.registry import MethodRegistry, default_registry
 from repro.exceptions import ConfigurationError, NotFittedError, StreamError
@@ -50,9 +53,32 @@ from repro.streaming.stream import ClaimBatch
 from repro.types import Triple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.io.base import DataSource
     from repro.pipeline.integrate import IntegrationResult
 
 __all__ = ["OnlineStepReport", "TruthEngine", "discover"]
+
+
+def _is_source_like(data: Any) -> bool:
+    """Whether ``data`` should resolve through :func:`repro.io.as_source`.
+
+    Catalog keys, file paths, relational tables, datasets and
+    :class:`~repro.io.base.DataSource` objects qualify; plain triple
+    iterables keep the direct (copy-free) path.  Tables and datasets must
+    not fall through to the iterable path: iterating them yields dict rows
+    / nothing triple-shaped, not triples.
+    """
+    if isinstance(data, (str, Path, Table, TruthDataset)):
+        return True
+    # Duck-typed so this hot check does not import repro.io on every call.
+    return hasattr(data, "iter_triples") and hasattr(data, "iter_batches")
+
+
+def _source_triples(data: Any) -> Iterable[Triple]:
+    """Resolve a source-like input into its triple stream."""
+    from repro.io.catalog import as_source
+
+    return as_source(data).iter_triples()
 
 
 @dataclass
@@ -101,7 +127,10 @@ class TruthEngine:
         the shared :func:`~repro.engine.registry.default_registry`).
     **overrides:
         Shorthand config overrides, e.g. ``TruthEngine(method="voting",
-        threshold=0.7)``.
+        threshold=0.7)``.  Keys that are not
+        :class:`~repro.engine.config.EngineConfig` fields become solver
+        hyperparameters, so ``TruthEngine(method="ltm", iterations=100,
+        seed=7)`` mirrors :func:`repro.discover`.
 
     Examples
     --------
@@ -125,8 +154,15 @@ class TruthEngine:
         **overrides: Any,
     ):
         config = config if config is not None else EngineConfig()
+        hyper_params: dict[str, Any] = {}
         if overrides:
-            config = config.with_overrides(**overrides)
+            fields = {f.name for f in dataclasses.fields(EngineConfig)}
+            config_overrides = {k: v for k, v in overrides.items() if k in fields}
+            hyper_params = {k: v for k, v in overrides.items() if k not in fields}
+            if config_overrides:
+                config = config.with_overrides(**config_overrides)
+            if hyper_params:
+                config = config.with_params(**hyper_params)
         self.config = config
         self.registry = registry if registry is not None else default_registry()
         if solver is not None and not isinstance(solver, TruthMethod):
@@ -137,7 +173,13 @@ class TruthEngine:
         if solver is None:
             # Fail fast on unknown methods; extension models are resolvable
             # but rejected at fit time with a pointed error.
-            self.registry.resolve(config.method)
+            spec = self.registry.spec(config.method)
+            rejected = sorted(k for k in hyper_params if not spec.accepts(k))
+            if rejected:
+                raise ConfigurationError(
+                    f"method {spec.key!r} does not accept parameter(s) {rejected}; "
+                    f"config fields are {sorted(f.name for f in dataclasses.fields(EngineConfig))}"
+                )
 
         self._history = RawDatabase(strict=False)
         self._since_last_fit = RawDatabase(strict=False)
@@ -260,17 +302,23 @@ class TruthEngine:
         return priors if priors is not None else LTMPriors()
 
     # -- batch lifecycle ------------------------------------------------------------
-    def ingest(self, triples: Iterable[Triple | tuple]) -> int:
+    def ingest(
+        self, triples: "Iterable[Triple | tuple] | DataSource | str"
+    ) -> int:
         """Add ``triples`` to the engine's history without fitting.
 
-        Returns the number of genuinely new triples added (duplicates are
-        dropped).  Call :meth:`fit` afterwards to learn from the accumulated
-        history.
+        Accepts raw triples, any :class:`~repro.io.base.DataSource`, or a
+        dataset-catalog key / file path.  Returns the number of genuinely
+        new triples added (duplicates are dropped).  Call :meth:`fit`
+        afterwards to learn from the accumulated history.
         """
+        if _is_source_like(triples):
+            triples = _source_triples(triples)
         return self._history.extend(triples)
 
     def fit(
-        self, data: Iterable[Triple | tuple] | RawDatabase | ClaimMatrix | None = None
+        self,
+        data: "Iterable[Triple | tuple] | RawDatabase | ClaimMatrix | DataSource | str | None" = None,
     ) -> "TruthEngine":
         """Fit the configured method on ``data`` (or the ingested history).
 
@@ -284,19 +332,23 @@ class TruthEngine:
         Parameters
         ----------
         data:
-            Raw triples, a :class:`~repro.data.raw.RawDatabase`, a prebuilt
-            :class:`~repro.data.dataset.ClaimMatrix`, or ``None``.  Note
-            that a prebuilt matrix cannot be decomposed back into raw
+            Raw triples, a :class:`~repro.data.raw.RawDatabase`, any
+            :class:`~repro.io.base.DataSource`, a dataset-catalog key or
+            file path (resolved through :func:`repro.io.as_source`), a
+            prebuilt :class:`~repro.data.dataset.ClaimMatrix`, or ``None``.
+            Note that a prebuilt matrix cannot be decomposed back into raw
             triples, so it does not seed the streaming history: follow-up
             :meth:`partial_fit` re-fits will only see the streamed batches.
-            Use triples input (or :meth:`ingest`) when mixing batch and
-            streaming.
+            Use triples / source input (or :meth:`ingest`) when mixing
+            batch and streaming.
 
         Returns
         -------
         TruthEngine
             ``self``, sklearn-style, so calls chain.
         """
+        if _is_source_like(data):
+            data = _source_triples(data)
         if isinstance(data, ClaimMatrix):
             self._reset_state()
             claims = data
@@ -338,7 +390,7 @@ class TruthEngine:
 
     # -- streaming lifecycle --------------------------------------------------------
     def partial_fit(
-        self, data: ClaimBatch | Iterable[Triple | tuple]
+        self, data: "ClaimBatch | Iterable[Triple | tuple] | DataSource | str"
     ) -> "TruthEngine":
         """Integrate one arriving batch (paper Section 5.4).
 
@@ -350,9 +402,18 @@ class TruthEngine:
         cumulative data, or (``config.cumulative=False``) only on the data
         since the last re-fit with learned quality carried over as priors.
 
+        ``data`` may be a :class:`~repro.streaming.stream.ClaimBatch`, raw
+        triples, any :class:`~repro.io.base.DataSource`, or a
+        dataset-catalog key / file path; a source's triples are integrated
+        as one batch.  For chunked streaming, loop over
+        ``source.iter_batches(batch_size)`` and ``partial_fit`` each batch —
+        the full claim table is never materialised.
+
         The step outcome is appended to :attr:`reports` and available as
         :attr:`last_report`.
         """
+        if _is_source_like(data):
+            data = _source_triples(data)
         if isinstance(data, ClaimBatch):
             batch = data
         else:
@@ -441,17 +502,20 @@ class TruthEngine:
 
     # -- prediction -----------------------------------------------------------------
     def predict_proba(
-        self, data: Iterable[Triple | tuple] | RawDatabase | ClaimMatrix | None = None
+        self,
+        data: "Iterable[Triple | tuple] | RawDatabase | ClaimMatrix | DataSource | str | None" = None,
     ) -> np.ndarray:
         """Per-fact truth probabilities.
 
         With no argument, returns the scores of the last full fit.  Given new
-        triples or a claim matrix, scores them with the closed-form LTMinc
-        posterior under the learned source quality — serving-style prediction
-        with no sampling.
+        triples, a data source / catalog key, or a claim matrix, scores them
+        with the closed-form LTMinc posterior under the learned source
+        quality — serving-style prediction with no sampling.
         """
         if data is None:
             return self.result().scores
+        if _is_source_like(data):
+            data = _source_triples(data)
         claims = data if isinstance(data, ClaimMatrix) else build_claim_matrix(data, strict=False)
         if self._quality is None:
             raise NotFittedError(
@@ -471,7 +535,7 @@ class TruthEngine:
 
 
 def discover(
-    triples: Iterable[Triple | tuple] | RawDatabase,
+    triples: "Iterable[Triple | tuple] | RawDatabase | DataSource | str",
     method: str = "ltm",
     *,
     threshold: float = 0.5,
@@ -484,8 +548,12 @@ def discover(
     Resolves ``method`` through the shared
     :class:`~repro.engine.registry.MethodRegistry`, builds it with ``params``
     (hyperparameters such as ``iterations`` and ``seed``) and runs the full
-    integration flow.  The produced scores are identical to fitting the
-    underlying solver directly on ``build_claim_matrix(triples)``.
+    integration flow.  ``triples`` may also be any
+    :class:`~repro.io.base.DataSource` or a dataset-catalog key / file path
+    (resolved through :func:`repro.io.as_source`), e.g.
+    ``repro.discover("books", method="ltm")``.  The produced scores are
+    identical to fitting the underlying solver directly on
+    ``build_claim_matrix(triples)``.
 
     Examples
     --------
@@ -501,11 +569,10 @@ def discover(
     >>> result.accepted_values("Harry Potter")
     ['Daniel Radcliffe']
     """
-    from repro.pipeline.integrate import IntegrationPipeline
+    from repro.pipeline.integrate import run_integration
 
     resolved = registry if registry is not None else default_registry()
     solver = resolved.create(method, **params)
-    pipeline = IntegrationPipeline(
-        method=solver, threshold=threshold, keep_workspace=keep_workspace
+    return run_integration(
+        triples, method=solver, threshold=threshold, keep_workspace=keep_workspace
     )
-    return pipeline.run(triples)

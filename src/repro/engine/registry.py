@@ -32,7 +32,13 @@ from repro.core.ltmpos import PositiveOnlyLTM
 from repro.core.model import LatentTruthModel
 from repro.exceptions import ConfigurationError
 
-__all__ = ["MethodSpec", "MethodRegistry", "default_registry", "register_default"]
+__all__ = [
+    "MethodSpec",
+    "MethodRegistry",
+    "default_registry",
+    "register_default",
+    "method_suite",
+]
 
 
 def _normalise_key(name: str) -> str:
@@ -339,3 +345,72 @@ def default_registry() -> MethodRegistry:
 def register_default(spec: MethodSpec, replace: bool = False) -> MethodSpec:
     """Register ``spec`` into the shared default registry."""
     return default_registry().register(spec, replace=replace)
+
+
+def method_suite(
+    priors: Any | None = None,
+    iterations: int = 100,
+    seed: int | None = 7,
+    include: dict[str, bool] | None = None,
+    registry: MethodRegistry | None = None,
+) -> list[Any]:
+    """Build the paper's standard comparison suite (every method except LTMinc).
+
+    This is the canonical home of the suite the historical
+    ``repro.baselines.default_method_suite`` built: fresh,
+    consistently-configured instances of the nine directly-fittable methods
+    of Table 7 / Figures 2-3, in the paper's presentation order (LTMinc
+    needs a previously learned quality table and is constructed separately
+    by the evaluation protocol).
+
+    Parameters
+    ----------
+    priors:
+        :class:`~repro.core.priors.LTMPriors` used by LTM and LTMpos
+        (defaults to the library defaults).
+    iterations:
+        Gibbs iterations for LTM and LTMpos.
+    seed:
+        Random seed shared by the sampling-based methods.
+    include:
+        Optional mapping of method name to a Boolean; methods mapped to
+        ``False`` are skipped.  Both display names (``"LTM"``) and registry
+        keys work.
+    registry:
+        The registry to build from (defaults to the shared one).
+    """
+    resolved = registry if registry is not None else default_registry()
+    include = dict(include or {})
+
+    def wanted(name: str) -> bool:
+        if name in include:
+            return include[name]
+        key = resolved.resolve(name)
+        for alias, value in include.items():
+            try:
+                if resolved.resolve(alias) == key:
+                    return value
+            except ConfigurationError:
+                continue
+        return True
+
+    sampled_kwargs = {"priors": priors, "iterations": iterations, "seed": seed}
+    suite: list[Any] = []
+    # Paper presentation order (LTM first, heuristic baselines after).
+    for name in (
+        "LTM",
+        "3-Estimates",
+        "Voting",
+        "TruthFinder",
+        "Investment",
+        "LTMpos",
+        "HubAuthority",
+        "AvgLog",
+        "PooledInvestment",
+    ):
+        if not wanted(name):
+            continue
+        spec = resolved.spec(name)
+        kwargs = sampled_kwargs if spec.accepts("priors") else {}
+        suite.append(resolved.create(name, **kwargs))
+    return suite

@@ -119,7 +119,7 @@ def compare_methods(
         The dataset (claims + labels) to evaluate on.
     methods:
         Instantiated truth methods (e.g. from
-        :func:`repro.baselines.default_method_suite`).
+        :func:`repro.engine.registry.method_suite`).
     protocol:
         Evaluation settings (threshold, AUC).
     include_incremental:

@@ -1,0 +1,60 @@
+"""Unified data ingestion (the library's canonical data-side API).
+
+This package is the data mirror of :mod:`repro.engine`: a single seam every
+triple enters through.
+
+* :class:`~repro.io.base.DataSource` — the chunk-oriented source protocol
+  (``schema`` / ``iter_triples`` / ``iter_batches`` / ``to_dataset``);
+* :mod:`repro.io.sources` — concrete sources for in-memory triples, triple
+  CSV/TSV files, JSON dataset dumps, relational tables and the synthetic
+  simulators;
+* :class:`~repro.io.catalog.DatasetCatalog` — named, parameterised datasets
+  under string keys (``"books"``, ``"movies"``, ``"ltm_generative"``,
+  ``"adversarial"``, ``"paper_example"``), mirroring the engine's
+  :class:`~repro.engine.registry.MethodRegistry`;
+* :func:`~repro.io.catalog.as_source` — universal coercion used by
+  :class:`~repro.engine.TruthEngine`, :func:`repro.discover`,
+  :class:`~repro.streaming.stream.ClaimStream` and the ``repro-truth`` CLI.
+
+Quickstart::
+
+    >>> from repro.io import as_source
+    >>> source = as_source("paper_example")
+    >>> source.schema().kind
+    'memory'
+    >>> sum(len(batch) for batch in source.iter_batches(3))
+    8
+"""
+
+from repro.io.base import DataSource, SourceSchema
+from repro.io.sources import (
+    DatasetSource,
+    JsonDatasetSource,
+    MemorySource,
+    SyntheticSource,
+    TableSource,
+    TripleFileSource,
+)
+from repro.io.catalog import (
+    DatasetCatalog,
+    DatasetSpec,
+    as_source,
+    default_catalog,
+    register_dataset,
+)
+
+__all__ = [
+    "DataSource",
+    "SourceSchema",
+    "MemorySource",
+    "TripleFileSource",
+    "JsonDatasetSource",
+    "TableSource",
+    "DatasetSource",
+    "SyntheticSource",
+    "DatasetCatalog",
+    "DatasetSpec",
+    "as_source",
+    "default_catalog",
+    "register_dataset",
+]

@@ -1,0 +1,352 @@
+"""Concrete :class:`~repro.io.base.DataSource` implementations.
+
+One class per historical ingestion style:
+
+* :class:`MemorySource` — in-memory triples (lists, generators,
+  :class:`~repro.data.raw.RawDatabase`), optionally with ground truth;
+* :class:`TripleFileSource` — delimited triple files written by
+  :func:`~repro.data.loaders.save_triples_csv` (TSV by default, CSV by
+  extension), optionally paired with a label file;
+* :class:`JsonDatasetSource` — full dataset dumps written by
+  :func:`~repro.data.loaders.save_dataset_json`;
+* :class:`TableSource` — rows of a relational :class:`~repro.store.Table`
+  (or a table inside a :class:`~repro.store.Database`) with a configurable
+  column mapping;
+* :class:`DatasetSource` / :class:`SyntheticSource` — an existing
+  :class:`~repro.data.dataset.TruthDataset`, or one generated on demand by a
+  simulator factory (the :mod:`repro.synth` generators in the catalog).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.data.dataset import TruthDataset
+from repro.data.loaders import load_dataset_json, load_labels_csv, load_triples_csv
+from repro.data.raw import RawDatabase
+from repro.exceptions import ConfigurationError
+from repro.io.base import DataSource, SourceSchema
+from repro.store.database import Database
+from repro.store.table import Table
+from repro.types import AttributeValue, EntityKey, Triple
+
+__all__ = [
+    "MemorySource",
+    "TripleFileSource",
+    "JsonDatasetSource",
+    "TableSource",
+    "DatasetSource",
+    "SyntheticSource",
+]
+
+
+def _as_triple(item: Triple | tuple) -> Triple:
+    return item if isinstance(item, Triple) else Triple(item[0], item[1], item[2])
+
+
+class MemorySource(DataSource):
+    """Triples already in memory: a list, any iterable, or a ``RawDatabase``.
+
+    Parameters
+    ----------
+    triples:
+        The assertions.  Non-``RawDatabase`` iterables are materialised once
+        at construction, so generators are safe.
+    truth:
+        Optional ``(entity, attribute) -> bool`` ground truth used by
+        :meth:`to_dataset`.
+    name:
+        Source name reported by :meth:`schema`.
+    """
+
+    def __init__(
+        self,
+        triples: Iterable[Triple | tuple] | RawDatabase,
+        truth: Mapping[tuple[EntityKey, AttributeValue], bool] | None = None,
+        name: str = "memory",
+    ):
+        if isinstance(triples, RawDatabase):
+            self._triples: list[Triple] = list(triples)
+        else:
+            self._triples = [_as_triple(t) for t in triples]
+        self._truth = dict(truth) if truth is not None else None
+        self._name = name
+
+    def schema(self) -> SourceSchema:
+        return SourceSchema(
+            name=self._name,
+            kind="memory",
+            has_labels=self._truth is not None,
+            num_triples=len(self._triples),
+        )
+
+    def iter_triples(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def labels(self) -> dict[tuple[EntityKey, AttributeValue], bool] | None:
+        return dict(self._truth) if self._truth is not None else None
+
+
+class TripleFileSource(DataSource):
+    """A delimited triple file with an ``entity/attribute/source`` header.
+
+    The delimiter defaults to tab and is inferred as ``","`` for ``.csv``
+    paths.  The file is read (and validated) lazily on first use and cached.
+
+    Parameters
+    ----------
+    path:
+        The triple file.
+    delimiter:
+        Field delimiter; inferred from the extension when omitted.
+    labels_path:
+        Optional companion label file (``entity/attribute/truth``).
+    name:
+        Source name; defaults to the file stem.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        delimiter: str | None = None,
+        labels_path: str | Path | None = None,
+        name: str | None = None,
+    ):
+        self.path = Path(path)
+        self.delimiter = delimiter if delimiter is not None else (
+            "," if self.path.suffix.lower() == ".csv" else "\t"
+        )
+        self.labels_path = Path(labels_path) if labels_path is not None else None
+        self._name = name if name is not None else self.path.stem
+        self._raw: RawDatabase | None = None
+
+    def _load(self) -> RawDatabase:
+        if self._raw is None:
+            self._raw = load_triples_csv(self.path, delimiter=self.delimiter)
+        return self._raw
+
+    def schema(self) -> SourceSchema:
+        return SourceSchema(
+            name=self._name,
+            kind="file",
+            has_labels=self.labels_path is not None,
+            num_triples=len(self._raw) if self._raw is not None else None,
+            metadata={"path": str(self.path), "delimiter": self.delimiter},
+        )
+
+    def iter_triples(self) -> Iterator[Triple]:
+        return iter(self._load())
+
+    def labels(self) -> dict[tuple[EntityKey, AttributeValue], bool] | None:
+        if self.labels_path is None:
+            return None
+        # The labels file's delimiter follows its own extension (a .csv label
+        # file may accompany a .tsv triple file).
+        delimiter = "," if self.labels_path.suffix.lower() == ".csv" else "\t"
+        return load_labels_csv(self.labels_path, delimiter=delimiter)
+
+
+class DatasetSource(DataSource):
+    """An existing :class:`~repro.data.dataset.TruthDataset` as a source.
+
+    The canonical triples are the dataset's *positive* claims (what a crawl
+    of the underlying sources would contain); negative claims are always
+    re-derived by the standard claim-generation rules at fit time.
+    :meth:`to_dataset` returns the native dataset unchanged, preserving its
+    original claim structure and fact-level labels.
+    """
+
+    kind = "dataset"
+
+    def __init__(self, dataset: TruthDataset | None = None, name: str | None = None):
+        self._dataset = dataset
+        self._name = name
+
+    def dataset(self) -> TruthDataset:
+        """The wrapped dataset (generated on demand by subclasses)."""
+        if self._dataset is None:  # pragma: no cover - defensive
+            raise ConfigurationError("DatasetSource has no dataset")
+        return self._dataset
+
+    def schema(self) -> SourceSchema:
+        dataset = self.dataset()
+        return SourceSchema(
+            name=self._name if self._name is not None else dataset.name,
+            kind=self.kind,
+            has_labels=bool(dataset.labels),
+            num_triples=dataset.claims.num_positive_claims,
+            metadata=dataset.summary(),
+        )
+
+    def iter_triples(self) -> Iterator[Triple]:
+        matrix = self.dataset().claims
+        names = matrix.source_names
+        for fact_id, source_id, obs in zip(
+            matrix.claim_fact, matrix.claim_source, matrix.claim_obs
+        ):
+            if obs:
+                fact = matrix.fact(int(fact_id))
+                yield Triple(fact.entity, fact.attribute, names[int(source_id)])
+
+    def labels(self) -> dict[tuple[EntityKey, AttributeValue], bool] | None:
+        dataset = self.dataset()
+        if not dataset.labels:
+            return None
+        facts = dataset.claims.facts
+        return {
+            (facts[fact_id].entity, facts[fact_id].attribute): bool(value)
+            for fact_id, value in dataset.labels.items()
+        }
+
+    def to_dataset(self, name: str | None = None) -> TruthDataset:
+        return self.dataset()
+
+
+class SyntheticSource(DatasetSource):
+    """A simulator-backed source: generates its dataset once, on demand.
+
+    Parameters
+    ----------
+    factory:
+        Zero-argument callable returning the simulated
+        :class:`~repro.data.dataset.TruthDataset` (already parameterised,
+        including its seed — generation is deterministic and cached).
+    name:
+        Source name.
+    metadata:
+        Extra metadata surfaced by :meth:`schema` before generation.
+    """
+
+    kind = "synthetic"
+
+    def __init__(
+        self,
+        factory: Callable[[], TruthDataset],
+        name: str,
+        metadata: Mapping[str, Any] | None = None,
+    ):
+        super().__init__(dataset=None, name=name)
+        self._factory = factory
+        self._metadata = dict(metadata or {})
+
+    def dataset(self) -> TruthDataset:
+        if self._dataset is None:
+            self._dataset = self._factory()
+        return self._dataset
+
+    def schema(self) -> SourceSchema:
+        if self._dataset is None:
+            # Do not force a (potentially expensive) simulation just to
+            # describe the source.
+            return SourceSchema(
+                name=self._name or "synthetic",
+                kind=self.kind,
+                has_labels=True,
+                num_triples=None,
+                metadata=dict(self._metadata),
+            )
+        return super().schema()
+
+
+class JsonDatasetSource(DatasetSource):
+    """A dataset dump written by :func:`~repro.data.loaders.save_dataset_json`.
+
+    Loaded lazily on first use and cached; :meth:`to_dataset` returns the
+    stored dataset with its original claim matrix and labels.
+    """
+
+    kind = "json"
+
+    def __init__(self, path: str | Path, name: str | None = None):
+        self.path = Path(path)
+        super().__init__(dataset=None, name=name)
+
+    def dataset(self) -> TruthDataset:
+        if self._dataset is None:
+            self._dataset = load_dataset_json(self.path)
+            if self._name is None:
+                self._name = self._dataset.name
+        return self._dataset
+
+    def schema(self) -> SourceSchema:
+        if self._dataset is None:
+            return SourceSchema(
+                name=self._name if self._name is not None else self.path.stem,
+                kind=self.kind,
+                has_labels=True,
+                num_triples=None,
+                metadata={"path": str(self.path)},
+            )
+        schema = super().schema()
+        return SourceSchema(
+            name=schema.name,
+            kind=self.kind,
+            has_labels=schema.has_labels,
+            num_triples=schema.num_triples,
+            metadata={**schema.metadata, "path": str(self.path)},
+        )
+
+
+class TableSource(DataSource):
+    """Rows of a relational table as assertion triples.
+
+    Parameters
+    ----------
+    table:
+        A :class:`~repro.store.Table`, or a :class:`~repro.store.Database`
+        together with ``table_name``.
+    table_name:
+        Name of the table when ``table`` is a database.
+    entity, attribute, source:
+        Column names holding the triple fields.
+    truth:
+        Optional ``(entity, attribute) -> bool`` ground truth.
+    name:
+        Source name; defaults to the table name.
+    """
+
+    def __init__(
+        self,
+        table: Table | Database,
+        table_name: str | None = None,
+        *,
+        entity: str = "entity",
+        attribute: str = "attribute",
+        source: str = "source",
+        truth: Mapping[tuple[EntityKey, AttributeValue], bool] | None = None,
+        name: str | None = None,
+    ):
+        if isinstance(table, Database):
+            if table_name is None:
+                raise ConfigurationError(
+                    "TableSource over a Database needs table_name"
+                )
+            table = table.table(table_name)
+        self.table = table
+        self.columns = {"entity": entity, "attribute": attribute, "source": source}
+        missing = [c for c in self.columns.values() if c not in table.column_names]
+        if missing:
+            raise ConfigurationError(
+                f"table {table.name!r} has no column(s) {missing}; "
+                f"columns: {list(table.column_names)}"
+            )
+        self._truth = dict(truth) if truth is not None else None
+        self._name = name if name is not None else table.name
+
+    def schema(self) -> SourceSchema:
+        return SourceSchema(
+            name=self._name,
+            kind="table",
+            has_labels=self._truth is not None,
+            num_triples=len(self.table),
+            metadata={"table": self.table.name, "columns": dict(self.columns)},
+        )
+
+    def iter_triples(self) -> Iterator[Triple]:
+        e, a, s = self.columns["entity"], self.columns["attribute"], self.columns["source"]
+        for row in self.table:
+            yield Triple(row[e], row[a], row[s])
+
+    def labels(self) -> dict[tuple[EntityKey, AttributeValue], bool] | None:
+        return dict(self._truth) if self._truth is not None else None

@@ -7,12 +7,13 @@ from several sources, derive facts and claims, infer which facts are true
 source-quality report.
 """
 
-from repro.pipeline.integrate import IntegrationPipeline, IntegrationResult
+from repro.pipeline.integrate import IntegrationPipeline, IntegrationResult, run_integration
 from repro.pipeline.report import format_quality_report, format_merged_records
 
 __all__ = [
     "IntegrationPipeline",
     "IntegrationResult",
+    "run_integration",
     "format_quality_report",
     "format_merged_records",
 ]

@@ -1,21 +1,26 @@
-"""The batch integration pipeline: raw triples in, merged records out.
+"""The batch integration flow: raw triples in, merged records out.
 
-:class:`IntegrationPipeline` is the historical end-to-end entry point, kept
-as a thin adapter over the unified :class:`~repro.engine.TruthEngine`: it
-builds the claim matrix, hands it to the engine for fitting and thresholding,
-and optionally materialises the intermediate relational tables as a debug
-workspace.  New code can use :func:`repro.discover` for the same flow in one
-line, or drive :class:`~repro.engine.TruthEngine` directly.
+:func:`run_integration` is the canonical end-to-end entry point: it resolves
+the input through :func:`repro.io.as_source` (so catalog keys, files, tables
+and in-memory triples all work), builds the claim matrix, hands it to the
+unified :class:`~repro.engine.TruthEngine` for fitting and thresholding, and
+optionally materialises the intermediate relational tables as a debug
+workspace.  :func:`repro.discover` wraps it in one line.
+
+:class:`IntegrationPipeline` is the historical class-shaped entry point,
+kept as a deprecated thin adapter over :func:`run_integration`.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Iterable
 
 from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
 from repro.core.model import LatentTruthModel
-from repro.data.claim_builder import ClaimTableBuilder
+from repro.data.claim_builder import ClaimTableBuilder, build_claim_matrix
 from repro.data.dataset import ClaimMatrix
 from repro.data.raw import RawDatabase
 from repro.engine.config import EngineConfig
@@ -25,7 +30,7 @@ from repro.exceptions import ConfigurationError
 from repro.store import Column, Database, Schema
 from repro.types import Triple
 
-__all__ = ["IntegrationResult", "IntegrationPipeline"]
+__all__ = ["IntegrationResult", "IntegrationPipeline", "run_integration"]
 
 
 @dataclass
@@ -72,8 +77,87 @@ class IntegrationResult:
         return sum(len(values) for values in self.rejected_records.values())
 
 
+def run_integration(
+    data: "Iterable[Triple | tuple] | RawDatabase | str | Any",
+    *,
+    method: TruthMethod | str | None = None,
+    threshold: float = 0.5,
+    keep_workspace: bool = False,
+    **method_params: Any,
+) -> IntegrationResult:
+    """Run the full integration flow and return an :class:`IntegrationResult`.
+
+    Parameters
+    ----------
+    data:
+        The assertions to integrate: raw triples, a
+        :class:`~repro.data.raw.RawDatabase`, any
+        :class:`~repro.io.base.DataSource`, or a dataset-catalog key / file
+        path (resolved through :func:`repro.io.as_source`).
+    method:
+        The truth-finding method: a :class:`~repro.core.base.TruthMethod`
+        instance, a registry key such as ``"voting"`` (resolved through
+        :func:`repro.engine.default_registry` and built with
+        ``method_params``), or ``None`` for
+        :class:`~repro.core.model.LatentTruthModel` with library defaults.
+    threshold:
+        Truth-probability threshold above which a fact is accepted into the
+        merged records.
+    keep_workspace:
+        Whether to materialise the intermediate relational tables in the
+        result's ``workspace`` database (useful for debugging, costs memory).
+    **method_params:
+        Hyperparameters for registry construction when ``method`` is a
+        string (e.g. ``iterations``, ``seed``).
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError("threshold must lie in [0, 1]")
+    if isinstance(method, str):
+        method = default_registry().create(method, **method_params)
+    elif method_params:
+        raise ConfigurationError(
+            "method hyperparameters are only accepted with a string method name"
+        )
+    solver = method if method is not None else LatentTruthModel()
+
+    # Every input style — raw databases, tables, datasets, catalog keys,
+    # files, plain iterables — goes through the one coercion layer, so none
+    # can fall through to a wrong interpretation.  The vectorized bulk path
+    # builds the claim matrix; the per-row RawDatabase and relational views
+    # are only materialised when the debug workspace is wanted.
+    if isinstance(data, RawDatabase):
+        raw: RawDatabase | None = data
+        raw.require_non_empty()
+        claims = build_claim_matrix(raw)
+    else:
+        from repro.io.catalog import as_source  # lazy: repro.io builds on the engine
+
+        source = as_source(data)
+        raw = source.to_raw(strict=False) if keep_workspace else None
+        claims = build_claim_matrix(raw) if raw is not None else source.to_claim_matrix()
+
+    engine = TruthEngine(EngineConfig(threshold=threshold), solver=solver)
+    engine.fit(claims)
+    truth_result = engine.result()
+
+    workspace = (
+        _build_workspace(raw, ClaimTableBuilder(raw), claims, truth_result, threshold)
+        if keep_workspace and raw is not None
+        else None
+    )
+    return IntegrationResult(
+        merged_records=engine.merged_records(),
+        rejected_records=engine.rejected_records(),
+        fact_scores=engine.fact_scores,
+        source_quality=truth_result.source_quality,
+        truth_result=truth_result,
+        claims=claims,
+        workspace=workspace,
+    )
+
+
 class IntegrationPipeline:
-    """Runs the full integration flow on a raw assertion database.
+    """Deprecated class-shaped wrapper over :func:`run_integration`.
 
     Parameters
     ----------
@@ -93,6 +177,10 @@ class IntegrationPipeline:
     **method_params:
         Hyperparameters for registry construction when ``method`` is a
         string (e.g. ``iterations``, ``seed``).
+
+    .. deprecated:: 1.2
+        Use :func:`repro.discover`, :func:`run_integration` or
+        :class:`~repro.engine.TruthEngine` instead.
     """
 
     def __init__(
@@ -102,6 +190,12 @@ class IntegrationPipeline:
         keep_workspace: bool = False,
         **method_params: Any,
     ):
+        warnings.warn(
+            "IntegrationPipeline is deprecated; use repro.discover(...), "
+            "repro.pipeline.run_integration(...) or repro.engine.TruthEngine instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if not 0.0 <= threshold <= 1.0:
             raise ConfigurationError("threshold must lie in [0, 1]")
         if isinstance(method, str):
@@ -116,72 +210,60 @@ class IntegrationPipeline:
 
     def run(self, triples: Iterable[Triple | tuple] | RawDatabase) -> IntegrationResult:
         """Integrate ``triples`` and return the merged records and quality report."""
-        raw = triples if isinstance(triples, RawDatabase) else RawDatabase(triples, strict=False)
-        raw.require_non_empty()
-
-        builder = ClaimTableBuilder(raw)
-        claims = builder.build()
-        engine = TruthEngine(EngineConfig(threshold=self.threshold), solver=self.method)
-        engine.fit(claims)
-        truth_result = engine.result()
-
-        workspace = self._build_workspace(raw, builder, claims, truth_result) if self.keep_workspace else None
-        return IntegrationResult(
-            merged_records=engine.merged_records(),
-            rejected_records=engine.rejected_records(),
-            fact_scores=engine.fact_scores,
-            source_quality=truth_result.source_quality,
-            truth_result=truth_result,
-            claims=claims,
-            workspace=workspace,
+        return run_integration(
+            triples,
+            method=self.method,
+            threshold=self.threshold,
+            keep_workspace=self.keep_workspace,
         )
 
-    def _build_workspace(
-        self,
-        raw: RawDatabase,
-        builder: ClaimTableBuilder,
-        claims: ClaimMatrix,
-        truth_result: TruthResult,
-    ) -> Database:
-        """Materialise raw/fact/claim/truth tables as a relational workspace."""
-        workspace = Database("integration")
 
-        raw_table = workspace.create_table(
-            "raw_database",
-            Schema(
-                columns=(Column("entity", object), Column("attribute", object), Column("source", object)),
+def _build_workspace(
+    raw: RawDatabase,
+    builder: ClaimTableBuilder,
+    claims: ClaimMatrix,
+    truth_result: TruthResult,
+    threshold: float,
+) -> Database:
+    """Materialise raw/fact/claim/truth tables as a relational workspace."""
+    workspace = Database("integration")
+
+    raw_table = workspace.create_table(
+        "raw_database",
+        Schema(
+            columns=(Column("entity", object), Column("attribute", object), Column("source", object)),
+        ),
+    )
+    for triple in raw:
+        raw_table.insert(
+            {"entity": triple.entity, "attribute": triple.attribute, "source": triple.source}
+        )
+
+    workspace.attach(builder.fact_table())
+    workspace.attach(builder.claim_table())
+
+    truth_table = workspace.create_table(
+        "truths",
+        Schema(
+            columns=(
+                Column("fact_id", int),
+                Column("entity", object),
+                Column("attribute", object),
+                Column("score", float),
+                Column("truth", bool),
             ),
+            key=("fact_id",),
+        ),
+    )
+    for fact in claims.facts:
+        score = float(truth_result.scores[fact.fact_id])
+        truth_table.insert(
+            {
+                "fact_id": fact.fact_id,
+                "entity": fact.entity,
+                "attribute": fact.attribute,
+                "score": score,
+                "truth": bool(score >= threshold),
+            }
         )
-        for triple in raw:
-            raw_table.insert(
-                {"entity": triple.entity, "attribute": triple.attribute, "source": triple.source}
-            )
-
-        workspace.attach(builder.fact_table())
-        workspace.attach(builder.claim_table())
-
-        truth_table = workspace.create_table(
-            "truths",
-            Schema(
-                columns=(
-                    Column("fact_id", int),
-                    Column("entity", object),
-                    Column("attribute", object),
-                    Column("score", float),
-                    Column("truth", bool),
-                ),
-                key=("fact_id",),
-            ),
-        )
-        for fact in claims.facts:
-            score = float(truth_result.scores[fact.fact_id])
-            truth_table.insert(
-                {
-                    "fact_id": fact.fact_id,
-                    "entity": fact.entity,
-                    "attribute": fact.attribute,
-                    "score": score,
-                    "truth": bool(score >= self.threshold),
-                }
-            )
-        return workspace
+    return workspace

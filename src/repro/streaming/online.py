@@ -24,6 +24,7 @@ Deprecated: new code should construct a
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable
 
 from repro.core.base import SourceQualityTable
@@ -58,6 +59,9 @@ class OnlineTruthFinder:
         carried over as priors (the paper's cheaper alternative).
     seed:
         Random seed for the re-fits.
+
+    .. deprecated:: 1.2
+        Use :class:`~repro.engine.TruthEngine` directly.
     """
 
     def __init__(
@@ -68,6 +72,12 @@ class OnlineTruthFinder:
         cumulative: bool = True,
         seed: int | None = 11,
     ):
+        warnings.warn(
+            "OnlineTruthFinder is deprecated; construct a repro.engine.TruthEngine "
+            "and drive its partial_fit loop (e.g. over DataSource.iter_batches) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if retrain_every < 0:
             raise StreamError("retrain_every must be non-negative")
         self.engine = TruthEngine(

@@ -4,6 +4,13 @@ A :class:`ClaimStream` turns a collection of raw triples into a sequence of
 :class:`ClaimBatch` objects, grouped either by a fixed batch size or by
 entity, simulating data arriving online (new movies appearing in a feed, new
 books being listed).
+
+Since the :mod:`repro.io` unification, :class:`ClaimStream` is a thin
+adapter over :meth:`repro.io.DataSource.iter_batches`: any
+:class:`~repro.io.base.DataSource` (or anything
+:func:`~repro.io.catalog.as_source` accepts, including catalog keys) can be
+streamed, and the entity-grouped batching algorithm itself lives in the
+source protocol.
 """
 
 from __future__ import annotations
@@ -13,7 +20,6 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.data.raw import RawDatabase
 from repro.exceptions import StreamError
 from repro.types import Triple
 
@@ -48,12 +54,15 @@ class ClaimBatch:
 
 
 class ClaimStream:
-    """Splits triples into arrival batches.
+    """Splits a data source's triples into arrival batches.
 
     Parameters
     ----------
     triples:
-        The triples to stream (a list or a :class:`~repro.data.raw.RawDatabase`).
+        The triples to stream: a list, a
+        :class:`~repro.data.raw.RawDatabase`, any
+        :class:`~repro.io.base.DataSource`, or a catalog key / file path
+        (resolved through :func:`repro.io.as_source`).
     batch_entities:
         Number of entities per batch when grouping by entity (the default
         grouping: all triples about the same entity arrive together, which is
@@ -66,17 +75,18 @@ class ClaimStream:
 
     def __init__(
         self,
-        triples: Iterable[Triple] | RawDatabase,
+        triples: Iterable[Triple] | object,
         batch_entities: int = 50,
         shuffle_entities: bool = False,
         seed: int | None = None,
     ):
         if batch_entities <= 0:
             raise StreamError("batch_entities must be positive")
-        if isinstance(triples, RawDatabase):
-            self._triples = list(triples)
-        else:
-            self._triples = list(triples)
+        # Imported lazily: repro.io builds on this module's ClaimBatch.
+        from repro.io.catalog import as_source
+
+        self._source = as_source(triples)
+        self._triples = list(self._source.iter_triples())
         if not self._triples:
             raise StreamError("cannot stream an empty triple collection")
         self.batch_entities = batch_entities
@@ -88,23 +98,12 @@ class ClaimStream:
 
     def batches(self) -> Iterator[ClaimBatch]:
         """Yield :class:`ClaimBatch` objects grouped by entity arrival."""
-        by_entity: dict[str, list[Triple]] = {}
-        for triple in self._triples:
-            by_entity.setdefault(triple.entity, []).append(triple)
-        entities = list(by_entity)
-        if self.shuffle_entities:
-            rng = np.random.default_rng(self.seed)
-            order = rng.permutation(len(entities))
-            entities = [entities[i] for i in order]
-
-        batch_index = 0
-        for start in range(0, len(entities), self.batch_entities):
-            chunk = entities[start : start + self.batch_entities]
-            batch_triples: list[Triple] = []
-            for entity in chunk:
-                batch_triples.extend(by_entity[entity])
-            yield ClaimBatch(index=batch_index, triples=tuple(batch_triples))
-            batch_index += 1
+        return self._source.iter_batches(
+            self.batch_entities,
+            by_entity=True,
+            shuffle=self.shuffle_entities,
+            seed=self.seed,
+        )
 
     def num_batches(self) -> int:
         """Number of batches the stream will produce."""

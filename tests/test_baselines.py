@@ -20,6 +20,9 @@ from repro.data.claim_builder import build_claim_matrix
 from repro.evaluation.metrics import evaluate_scores
 from repro.exceptions import ConfigurationError
 
+# Legacy entry points are exercised on purpose: they must keep delegating.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def consensus_claims():

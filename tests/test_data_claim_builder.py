@@ -2,10 +2,18 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.data.claim_builder import ClaimTableBuilder, build_claim_matrix, build_dataset
+from repro.data.claim_builder import (
+    ClaimTableBuilder,
+    build_claim_matrix,
+    build_dataset,
+    bulk_build_claim_matrix,
+)
 from repro.data.raw import RawDatabase
-from repro.exceptions import EmptyDatasetError
+from repro.exceptions import DuplicateRowError, EmptyDatasetError
+from repro.types import Triple
 
 
 class TestFactTable:
@@ -119,3 +127,87 @@ class TestBuildHelpers:
         second = paper_builder.build()
         assert first.num_claims == second.num_claims
         assert np.array_equal(first.claim_fact, second.claim_fact)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized bulk ingest: must be indistinguishable from the sequential path
+# ---------------------------------------------------------------------------
+_triples_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 6).map(lambda i: f"e{i}"),
+        st.integers(0, 5).map(lambda i: f"a{i}"),
+        st.integers(0, 5).map(lambda i: f"s{i}"),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+def _assert_matrices_identical(seq, blk):
+    assert list(seq.source_names) == list(blk.source_names)
+    assert [(f.fact_id, f.entity, f.attribute) for f in seq.facts] == [
+        (f.fact_id, f.entity, f.attribute) for f in blk.facts
+    ]
+    np.testing.assert_array_equal(seq.claim_fact, blk.claim_fact)
+    np.testing.assert_array_equal(seq.claim_source, blk.claim_source)
+    np.testing.assert_array_equal(seq.claim_obs, blk.claim_obs)
+    np.testing.assert_array_equal(seq.fact_ptr, blk.fact_ptr)
+
+
+class TestBulkIngestParity:
+    @settings(max_examples=150, deadline=None)
+    @given(triples=_triples_strategy)
+    def test_bulk_matches_sequential_builder(self, triples):
+        seq = ClaimTableBuilder(RawDatabase(triples, strict=False)).build()
+        blk = bulk_build_claim_matrix(triples)
+        _assert_matrices_identical(seq, blk)
+
+    def test_paper_example_identical(self, paper_triples, paper_claims):
+        _assert_matrices_identical(paper_claims, bulk_build_claim_matrix(paper_triples))
+
+    def test_accepts_triple_objects_tuples_and_mixed(self):
+        as_tuples = [("e", "a", "s1"), ("e", "b", "s2")]
+        as_triples = [Triple(*t) for t in as_tuples]
+        mixed = [as_triples[0], as_tuples[1]]
+        reference = bulk_build_claim_matrix(as_tuples)
+        for variant in (as_triples, mixed):
+            _assert_matrices_identical(reference, bulk_build_claim_matrix(variant))
+
+    def test_accepts_raw_database(self, paper_raw, paper_claims):
+        _assert_matrices_identical(paper_claims, bulk_build_claim_matrix(paper_raw))
+
+    def test_non_string_attributes_survive(self):
+        triples = [("e1", 1, "s1"), ("e1", "x", "s2"), ("e2", 2.5, "s1"), ("e2", 2.5, "s3")]
+        seq = ClaimTableBuilder(RawDatabase(triples, strict=False)).build()
+        blk = bulk_build_claim_matrix(triples)
+        _assert_matrices_identical(seq, blk)
+        assert blk.facts[0].attribute == 1  # values, not str renderings
+
+    def test_strict_duplicate_rejected(self):
+        with pytest.raises(DuplicateRowError):
+            bulk_build_claim_matrix([("e", "a", "s"), ("e", "a", "s")], strict=True)
+        # Non-strict drops the duplicate, like RawDatabase(strict=False).
+        assert bulk_build_claim_matrix([("e", "a", "s"), ("e", "a", "s")]).num_claims == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyDatasetError):
+            bulk_build_claim_matrix([])
+
+    def test_wrong_arity_rejected_not_truncated(self):
+        from repro.exceptions import DataModelError
+
+        with pytest.raises(DataModelError, match="expected \\(entity, attribute, source\\)"):
+            bulk_build_claim_matrix([("e", "a", "s", "extra-column")])
+        with pytest.raises(DataModelError):
+            bulk_build_claim_matrix([("e", "a")])
+        with pytest.raises(DataModelError):
+            bulk_build_claim_matrix([Triple("e", "a", "s"), ("e", "a", "s", "extra")])
+
+    def test_build_claim_matrix_routes_through_bulk(self):
+        triples = [("e", "a", "s1"), ("e", "b", "s2")]
+        _assert_matrices_identical(
+            bulk_build_claim_matrix(triples), build_claim_matrix(triples)
+        )
+
+    def test_classmethod_alias(self, paper_triples, paper_claims):
+        _assert_matrices_identical(paper_claims, ClaimTableBuilder.bulk(paper_triples))

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.data.loaders import (
     load_dataset_json,
@@ -12,6 +14,7 @@ from repro.data.loaders import (
     save_triples_csv,
 )
 from repro.exceptions import DataModelError
+from repro.types import Triple
 
 
 class TestTripleCsv:
@@ -41,6 +44,50 @@ class TestTripleCsv:
         with pytest.raises(DataModelError):
             load_triples_csv(path)
 
+    def test_multichar_delimiter_rejected(self, tmp_path):
+        with pytest.raises(DataModelError):
+            save_triples_csv([Triple("e", "a", "s")], tmp_path / "x.tsv", delimiter="||")
+
+    def test_quotechar_delimiter_rejected(self, tmp_path):
+        with pytest.raises(DataModelError):
+            load_triples_csv(tmp_path / "x.tsv", delimiter='"')
+
+
+# Values deliberately include the tab / comma delimiters, quotes, carriage
+# returns and newlines — the characters that break naive split-based formats.
+_nasty_text = st.text(
+    alphabet=st.sampled_from(list("ab\t,;\"'\n\r é")), min_size=1, max_size=8
+)
+_triples_strategy = st.lists(
+    st.tuples(_nasty_text, _nasty_text, _nasty_text).map(lambda t: Triple(*t)),
+    min_size=1,
+    max_size=20,
+    unique=True,
+)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(triples=_triples_strategy, delimiter=st.sampled_from(["\t", ",", ";", "|"]))
+    def test_triples_survive_save_load(self, triples, delimiter, tmp_path):
+        path = tmp_path / "triples.any"
+        count = save_triples_csv(triples, path, delimiter=delimiter)
+        assert count == len(triples)
+        loaded = load_triples_csv(path, delimiter=delimiter)
+        assert sorted(t.as_tuple() for t in loaded) == sorted(t.as_tuple() for t in triples)
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(
+        labels=st.dictionaries(
+            st.tuples(_nasty_text, _nasty_text), st.booleans(), min_size=1, max_size=15
+        ),
+        delimiter=st.sampled_from(["\t", ","]),
+    )
+    def test_labels_survive_save_load(self, labels, delimiter, tmp_path):
+        path = tmp_path / "labels.any"
+        assert save_labels_csv(labels, path, delimiter=delimiter) == len(labels)
+        assert load_labels_csv(path, delimiter=delimiter) == labels
+
 
 class TestLabelCsv:
     def test_round_trip(self, tmp_path):
@@ -54,6 +101,18 @@ class TestLabelCsv:
         path = tmp_path / "labels.tsv"
         path.write_text("")
         with pytest.raises(DataModelError):
+            load_labels_csv(path)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("entity\tattribute\tsource\nbook\talice\t1\n")
+        with pytest.raises(DataModelError):
+            load_labels_csv(path)
+
+    def test_malformed_truth_value_rejected(self, tmp_path):
+        path = tmp_path / "labels.tsv"
+        path.write_text("entity\tattribute\ttruth\nbook\talice\tmaybe\n")
+        with pytest.raises(DataModelError, match="truth column"):
             load_labels_csv(path)
 
 

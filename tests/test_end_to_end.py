@@ -10,7 +10,8 @@ incremental workflow carries quality forward correctly.
 import numpy as np
 import pytest
 
-from repro.baselines import Voting, default_method_suite
+from repro.baselines import Voting
+from repro.engine.registry import method_suite
 from repro.core.incremental import IncrementalLTM
 from repro.core.model import LatentTruthModel
 from repro.evaluation import compare_methods, evaluate_scores
@@ -20,7 +21,7 @@ from repro.synth.ltm_generative import LTMGenerativeConfig, generate_ltm_dataset
 
 @pytest.fixture(scope="module")
 def book_comparison(medium_book_dataset_module):
-    suite = default_method_suite(iterations=60, seed=0)
+    suite = method_suite(iterations=60, seed=0)
     return compare_methods(
         medium_book_dataset_module,
         suite,

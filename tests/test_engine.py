@@ -13,6 +13,9 @@ from repro.exceptions import ConfigurationError, NotFittedError, StreamError
 from repro.streaming import ClaimStream, OnlineTruthFinder
 from repro.types import Triple
 
+# Legacy entry points are exercised on purpose: they must keep delegating.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def _triples_for(num_entities: int, good_sources: int = 5) -> list[Triple]:
     triples = []

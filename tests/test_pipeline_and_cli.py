@@ -10,6 +10,9 @@ from repro.exceptions import ConfigurationError, EmptyDatasetError
 from repro.pipeline import IntegrationPipeline, format_merged_records, format_quality_report
 from repro.pipeline.report import format_integration_summary
 
+# IntegrationPipeline is exercised on purpose here: it must keep delegating.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestIntegrationPipeline:
     def test_merges_paper_example(self, paper_triples):
@@ -158,3 +161,56 @@ class TestCli:
         save_labels_csv({("Nope", "Nobody"): True}, labels_path)
         code = main(["compare", str(triples_path), str(labels_path)])
         assert code == 2
+
+    def test_datasets_command_lists_catalog(self, capsys):
+        code = main(["datasets"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for key in ("paper_example", "books", "movies", "ltm_generative", "adversarial"):
+            assert key in out
+        assert "aliases" in out
+
+    def test_integrate_with_source_catalog_key(self, capsys):
+        code = main(["integrate", "--source", "paper_example", "--method", "voting"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Merged records" in out
+        assert "Harry Potter" in out
+
+    def test_integrate_positional_catalog_key(self, capsys):
+        code = main(["integrate", "paper_example", "--method", "voting"])
+        assert code == 0
+        assert "Merged records" in capsys.readouterr().out
+
+    def test_integrate_positional_file_shadows_catalog_key(
+        self, tmp_path, paper_raw, capsys, monkeypatch
+    ):
+        """A local file named like a catalog key still means the file."""
+        monkeypatch.chdir(tmp_path)
+        save_triples_csv(paper_raw, tmp_path / "books")
+        code = main(["integrate", "books", "--method", "voting"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Harry Potter" in out  # the file's data, not the simulated crawl
+
+    def test_integrate_source_file_path(self, tmp_path, paper_raw, capsys):
+        triples_path = tmp_path / "triples.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        code = main(["integrate", "--source", str(triples_path), "--method", "voting"])
+        assert code == 0
+        assert "Merged records" in capsys.readouterr().out
+
+    def test_integrate_unknown_source(self, capsys):
+        code = main(["integrate", "--source", "no_such_dataset", "--method", "voting"])
+        assert code == 2
+        assert "neither a registered dataset" in capsys.readouterr().err
+
+    def test_integrate_requires_exactly_one_input(self, tmp_path, paper_raw, capsys):
+        assert main(["integrate", "--method", "voting"]) == 2
+        triples_path = tmp_path / "triples.tsv"
+        save_triples_csv(paper_raw, triples_path)
+        code = main(
+            ["integrate", str(triples_path), "--source", "paper_example", "--method", "voting"]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err

@@ -7,6 +7,9 @@ from repro.streaming import ClaimStream, OnlineTruthFinder
 from repro.streaming.stream import ClaimBatch
 from repro.types import Triple
 
+# Legacy entry points are exercised on purpose: they must keep delegating.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 def _triples_for(num_entities: int, good_sources: int = 5) -> list[Triple]:
     triples = []
