@@ -1,0 +1,119 @@
+"""E11 — Serving throughput: TruthService point lookups and batch scoring.
+
+The serving claim behind :mod:`repro.serving` is that once LTM has learned
+source quality, truth queries are *lookups* and new claims are a *closed-form
+pass* (Equation 3) — no sampling, which is what lets the learned model serve
+traffic instead of recomputing.  This benchmark builds a movie-feed artifact,
+serves it with :class:`~repro.serving.TruthService`, and measures
+
+* **point** — ``truth_of(entity, attribute)`` hash-index lookups;
+* **batch** — ``batch(pairs)`` vectorised lookups;
+* **score** — ``score(triples)`` closed-form LTMinc scoring of fresh claims
+  from a mix of seen and unseen sources (the cold-start serving path).
+
+Results are recorded under ``benchmarks/results/query_latency.txt`` with a
+conservative throughput floor asserted per path.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+import numpy as np
+
+from repro.engine import TruthEngine
+from repro.io import as_source
+from repro.serving import TruthService
+
+from conftest import write_result
+
+NUM_MOVIES = 1_500
+NUM_POINT_LOOKUPS = 200_000
+NUM_SCORED_TRIPLES = 50_000
+REPEATS = 3
+
+#: Conservative floors (ops/sec) — an order of magnitude under what a laptop
+#: does, so the assertion catches accidental O(n) lookups, not slow CI boxes.
+MIN_POINT_PER_S = 50_000.0
+MIN_BATCH_PER_S = 100_000.0
+MIN_SCORE_PER_S = 10_000.0
+
+
+def _best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs (GC collected and paused per run)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            result = fn()
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        best = min(best, elapsed)
+    return best, result
+
+
+def test_query_latency(results_dir):
+    source = as_source("movies", seed=31, num_movies=NUM_MOVIES, labelled_movies=100)
+    engine = TruthEngine(method="ltm", iterations=25, seed=7).fit(source)
+    service = TruthService(engine.to_artifact(name="query-latency"))
+
+    rng = np.random.default_rng(17)
+    known = list(engine.fact_scores)
+    pairs = [known[i] for i in rng.integers(0, len(known), size=NUM_POINT_LOOKUPS)]
+
+    def run_point() -> float:
+        truth_of = service.truth_of
+        total = 0.0
+        for entity, attribute in pairs:
+            total += truth_of(entity, attribute)
+        return total
+
+    point_s, _ = _best_of(run_point)
+    batch_s, batch_scores = _best_of(lambda: service.batch(pairs))
+    assert batch_scores.shape == (NUM_POINT_LOOKUPS,)
+
+    # Fresh claims: unseen entities, every 5th claim from an unseen source.
+    sources = list(engine.quality_report().source_names)
+    score_triples = [
+        (
+            f"fresh_movie_{i % 10_000:05d}",
+            f"fresh_director_{i % 3}",
+            sources[i % len(sources)] if i % 5 else f"unseen_source_{i % 7}",
+        )
+        for i in range(NUM_SCORED_TRIPLES)
+    ]
+    score_s, scored = _best_of(lambda: service.score(score_triples))
+    assert np.all((scored >= 0.0) & (scored <= 1.0))
+
+    point_per_s = NUM_POINT_LOOKUPS / point_s
+    batch_per_s = NUM_POINT_LOOKUPS / batch_s
+    score_per_s = NUM_SCORED_TRIPLES / score_s
+
+    lines = [
+        "E11  Serving throughput: TruthService point lookups and batch scoring",
+        "",
+        f"artifact: {len(service)} facts, {len(service.entities())} entities, "
+        f"{service.quality.num_sources} sources "
+        f"(movies feed, {NUM_MOVIES} movies)",
+        f"timing:   best of {REPEATS} runs each",
+        "",
+        f"{'path':18s}  {'ops':>9s}  {'seconds':>9s}  {'ops/sec':>12s}",
+        f"{'-' * 18}  {'-' * 9}  {'-' * 9}  {'-' * 12}",
+        f"{'point truth_of':18s}  {NUM_POINT_LOOKUPS:9d}  {point_s:9.3f}  {point_per_s:12,.0f}",
+        f"{'batch lookup':18s}  {NUM_POINT_LOOKUPS:9d}  {batch_s:9.3f}  {batch_per_s:12,.0f}",
+        f"{'score (LTMinc)':18s}  {NUM_SCORED_TRIPLES:9d}  {score_s:9.3f}  {score_per_s:12,.0f}",
+        "",
+        f"floors: point >= {MIN_POINT_PER_S:,.0f}/s, batch >= {MIN_BATCH_PER_S:,.0f}/s, "
+        f"score >= {MIN_SCORE_PER_S:,.0f}/s",
+        "",
+    ]
+    write_result(results_dir, "query_latency.txt", "\n".join(lines))
+
+    assert point_per_s >= MIN_POINT_PER_S, f"point lookups too slow: {point_per_s:,.0f}/s"
+    assert batch_per_s >= MIN_BATCH_PER_S, f"batch lookups too slow: {batch_per_s:,.0f}/s"
+    assert score_per_s >= MIN_SCORE_PER_S, f"closed-form scoring too slow: {score_per_s:,.0f}/s"

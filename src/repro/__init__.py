@@ -18,7 +18,13 @@ through the :class:`~repro.engine.MethodRegistry`.  On the data side,
 relational tables, the simulators), named sources live in the
 :class:`~repro.io.DatasetCatalog`, and anything triple-shaped is coerced
 with :func:`repro.io.as_source` — so ``repro.discover("books")`` or
-``TruthEngine().fit("movies")`` just work.  The historical entry points
+``TruthEngine().fit("movies")`` just work.  On the serve side,
+:mod:`repro.serving` snapshots a fitted engine into a versioned
+:class:`~repro.serving.TruthArtifact` (``TruthEngine.save`` / ``load``)
+and answers point / batch / top-k truth queries — plus closed-form scoring
+of unseen claims — through a hot-swappable
+:class:`~repro.serving.TruthService` (``repro.serve("books")`` trains and
+serves in one line).  The historical entry points
 (:class:`IntegrationPipeline`, :class:`OnlineTruthFinder`,
 ``default_method_suite``) remain as deprecated thin adapters over the
 engine.
@@ -107,8 +113,9 @@ from repro.io import (
     default_catalog,
     register_dataset,
 )
+from repro.serving import TruthArtifact, TruthService, load_artifact, serve
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -129,6 +136,11 @@ __all__ = [
     "as_source",
     "default_catalog",
     "register_dataset",
+    # serving (canonical serve-side API)
+    "TruthArtifact",
+    "TruthService",
+    "load_artifact",
+    "serve",
     # data model
     "Triple",
     "RawDatabase",

@@ -11,6 +11,10 @@ core workflow without writing Python:
   dataset-catalog key (or file path) resolved through :mod:`repro.io`;
 * ``repro-truth compare in.tsv labels.tsv`` — run the full method comparison
   against a ground-truth label file;
+* ``repro-truth export books art/`` — fit a method on any catalog key or
+  triple file and write a versioned serving artifact (:mod:`repro.serving`);
+* ``repro-truth query art/ "Harry Potter"`` — answer truth queries from a
+  saved artifact without re-running inference;
 * ``repro-truth methods`` — list every registered solver with its metadata;
 * ``repro-truth datasets`` — list every catalog dataset with its metadata.
 """
@@ -27,7 +31,12 @@ from repro.data.loaders import load_labels_csv, load_triples_csv, save_triples_c
 from repro.engine.facade import discover
 from repro.engine.registry import default_registry, method_suite
 from repro.evaluation.comparison import compare_methods
-from repro.exceptions import ConfigurationError, DataModelError, EmptyDatasetError
+from repro.exceptions import (
+    ArtifactError,
+    ConfigurationError,
+    DataModelError,
+    EmptyDatasetError,
+)
 from repro.io.catalog import as_source, default_catalog
 from repro.pipeline.report import (
     format_integration_summary,
@@ -89,6 +98,44 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--iterations", type=int, default=100, help="Gibbs iterations for LTM")
     compare.add_argument("--seed", type=int, default=7, help="random seed")
 
+    export = subparsers.add_parser(
+        "export", help="fit a method and write a versioned serving artifact"
+    )
+    export.add_argument(
+        "source",
+        help="dataset to fit: a catalog key (see 'repro-truth datasets') or a file path",
+    )
+    export.add_argument("output", help="artifact directory to write")
+    export.add_argument(
+        "--method",
+        default="ltm",
+        help="registered truth method to fit (see 'repro-truth methods')",
+    )
+    export.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="solver iterations (the method's own default when omitted)",
+    )
+    export.add_argument("--threshold", type=float, default=0.5, help="acceptance threshold")
+    export.add_argument("--seed", type=int, default=7, help="random seed")
+    export.add_argument("--name", default=None, help="artifact name (defaults to the method)")
+
+    query = subparsers.add_parser("query", help="answer truth queries from a saved artifact")
+    query.add_argument("artifact", help="artifact directory written by 'export'")
+    query.add_argument(
+        "entity",
+        nargs="?",
+        default=None,
+        help="entity to look up (omit for the artifact's global top facts)",
+    )
+    query.add_argument(
+        "--attribute",
+        default=None,
+        help="attribute value for a point lookup (requires an entity)",
+    )
+    query.add_argument("--top", type=int, default=10, help="facts to print")
+
     subparsers.add_parser("methods", help="list registered truth methods and their metadata")
     subparsers.add_parser("datasets", help="list catalog datasets and their metadata")
     return parser
@@ -132,25 +179,8 @@ def _run_integrate(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    registry = default_registry()
-    try:
-        spec = registry.spec(args.method)
-    except ConfigurationError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if not spec.claim_based:
-        print(
-            f"error: method {spec.key!r} does not consume (entity, attribute, source) "
-            f"triples and cannot be run via 'integrate'",
-            file=sys.stderr,
-        )
-        return 2
-    if spec.requires_quality:
-        print(
-            f"error: method {spec.key!r} needs previously learned source quality; "
-            f"run '--method ltm' instead",
-            file=sys.stderr,
-        )
+    spec = _resolve_method_spec(args.method)
+    if spec is None:
         return 2
     # Pass the sampler settings only to methods that take them, and only when
     # the user asked for them (so each method keeps its own iteration
@@ -185,6 +215,104 @@ def _run_integrate(args: argparse.Namespace) -> int:
         print("Source quality")
         print("--------------")
         print(format_quality_report(result.source_quality, top=20))
+    return 0
+
+
+def _resolve_method_spec(method: str):
+    """Resolve ``method`` to a fittable claim-based spec, or print an error."""
+    registry = default_registry()
+    try:
+        spec = registry.spec(method)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+    if not spec.claim_based:
+        print(
+            f"error: method {spec.key!r} does not consume (entity, attribute, source) "
+            f"triples and cannot be fitted on a triple source",
+            file=sys.stderr,
+        )
+        return None
+    if spec.requires_quality:
+        print(
+            f"error: method {spec.key!r} needs previously learned source quality; "
+            f"run '--method ltm' instead",
+            file=sys.stderr,
+        )
+        return None
+    return spec
+
+
+def _run_export(args: argparse.Namespace) -> int:
+    from repro.engine.facade import TruthEngine
+
+    spec = _resolve_method_spec(args.method)
+    if spec is None:
+        return 2
+    params = {}
+    if args.iterations is not None and spec.accepts("iterations"):
+        params["iterations"] = args.iterations
+    if spec.accepts("seed"):
+        params["seed"] = args.seed
+    try:
+        # Positional input keeps integrate's file-first semantics: a local
+        # file named like a catalog key still means the file.
+        path = Path(args.source)
+        source = as_source(path) if path.exists() else as_source(args.source)
+        engine = TruthEngine(method=args.method, threshold=args.threshold, **params)
+        engine.fit(source)
+        artifact = engine.to_artifact(name=args.name)
+        path = artifact.save(args.output)
+    except (ArtifactError, ConfigurationError, DataModelError, EmptyDatasetError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = artifact.summary()
+    print(
+        f"wrote artifact {info['name']!r} (method {info['method']}, "
+        f"{info['facts']} facts, {info['entities']} entities, "
+        f"{info['sources']} sources, schema v{info['schema_version']}, "
+        f"repro {info['repro_version']}) to {path}"
+    )
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    from repro.serving.service import TruthService
+
+    if args.attribute is not None and args.entity is None:
+        print("error: --attribute requires an entity", file=sys.stderr)
+        return 2
+    try:
+        service = TruthService(args.artifact)
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = service.stats()
+    print(
+        f"artifact {info['name']!r}: method {info['method']}, {info['facts']} facts, "
+        f"{info['entities']} entities, schema v{info['schema_version']}"
+    )
+    threshold = service.artifact.config.threshold
+    if args.attribute is not None:
+        try:
+            score = service.truth_of(args.entity, args.attribute)
+        except KeyError:
+            print(f"no stored fact ({args.entity!r}, {args.attribute!r})", file=sys.stderr)
+            return 1
+        verdict = "accepted" if score >= threshold else "rejected"
+        print(f"{args.entity}\t{args.attribute}\t{score:.4f}\t{verdict}")
+        return 0
+    if args.entity is not None:
+        ranked = service.lookup(args.entity)
+        if not ranked:
+            print(f"no stored facts for entity {args.entity!r}", file=sys.stderr)
+            return 1
+        for attribute, score in ranked[: args.top]:
+            verdict = "accepted" if score >= threshold else "rejected"
+            print(f"{args.entity}\t{attribute}\t{score:.4f}\t{verdict}")
+        return 0
+    for entity, attribute, score in service.top_k(args.top):
+        print(f"{entity}\t{attribute}\t{score:.4f}")
     return 0
 
 
@@ -276,6 +404,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_integrate(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "export":
+        return _run_export(args)
+    if args.command == "query":
+        return _run_query(args)
     if args.command == "methods":
         return _run_methods(args)
     if args.command == "datasets":

@@ -25,7 +25,7 @@ from repro.core.priors import LTMPriors
 from repro.data.dataset import ClaimMatrix
 from repro.exceptions import ModelError
 
-__all__ = ["posterior_truth_probability", "IncrementalLTM"]
+__all__ = ["posterior_truth_probability", "IncrementalLTM", "prior_mean_predictor"]
 
 
 def posterior_truth_probability(
@@ -89,6 +89,26 @@ def posterior_truth_probability(
     p_true = np.exp(log_p_true - max_log)
     p_false = np.exp(log_p_false - max_log)
     return p_true / (p_true + p_false)
+
+
+def prior_mean_predictor(
+    source_quality: SourceQualityTable, priors: LTMPriors
+) -> "IncrementalLTM":
+    """An LTMinc predictor whose cold-start defaults are the prior means.
+
+    This is the shared serving contract of
+    :meth:`repro.engine.TruthEngine.predict_proba` and
+    :meth:`repro.serving.TruthService.score`: claims from sources unseen at
+    fit time are scored under the prior-mean quality — sensitivity
+    ``priors.sensitivity.mean``, specificity
+    ``1 - priors.false_positive.mean`` — instead of failing.
+    """
+    return IncrementalLTM(
+        source_quality,
+        truth_prior=(priors.truth.positive, priors.truth.negative),
+        default_sensitivity=priors.sensitivity.mean,
+        default_specificity=1.0 - priors.false_positive.mean,
+    )
 
 
 class IncrementalLTM(TruthMethod):

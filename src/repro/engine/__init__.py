@@ -12,6 +12,12 @@ This package is the single seam every entry point goes through:
   covering batch, incremental and streaming integration alike;
 * :func:`~repro.engine.facade.discover` — the one-liner quickstart path.
 
+The serve-side counterpart is :mod:`repro.serving`:
+:meth:`~repro.engine.facade.TruthEngine.save` / ``load`` / ``to_artifact``
+snapshot a fitted engine into a versioned
+:class:`~repro.serving.TruthArtifact`, served by a hot-swappable
+:class:`~repro.serving.TruthService`.
+
 The historical entry points
 (:class:`~repro.pipeline.integrate.IntegrationPipeline`,
 :class:`~repro.streaming.online.OnlineTruthFinder`, the

@@ -11,7 +11,7 @@ configuration concern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
@@ -42,6 +42,16 @@ class EngineConfig:
         Streaming only: when true (default) re-fits use all data seen so
         far; when false they use only the data since the previous re-fit,
         with learned quality carried over as priors (paper Section 5.4).
+    export_dir:
+        Streaming only: when set, :meth:`~repro.engine.TruthEngine.partial_fit`
+        publishes a :class:`~repro.serving.TruthArtifact` under this
+        directory (``step_00001``, ``step_00002``, ...) so a concurrently
+        running :class:`~repro.serving.TruthService` can
+        :meth:`~repro.serving.TruthService.refresh` onto the newest snapshot.
+    export_every:
+        Streaming only: publish an artifact after every ``export_every``
+        :meth:`~repro.engine.TruthEngine.partial_fit` steps (default 1:
+        every step).
     """
 
     method: str = "ltm"
@@ -49,6 +59,8 @@ class EngineConfig:
     threshold: float = 0.5
     retrain_every: int = 5
     cumulative: bool = True
+    export_dir: str | None = None
+    export_every: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.method, str) or not self.method.strip():
@@ -57,6 +69,8 @@ class EngineConfig:
             raise ConfigurationError("threshold must lie in [0, 1]")
         if self.retrain_every < 0:
             raise ConfigurationError("retrain_every must be non-negative")
+        if self.export_every < 1:
+            raise ConfigurationError("export_every must be at least 1")
         object.__setattr__(self, "params", dict(self.params))
 
     # -- construction ---------------------------------------------------------------
@@ -66,7 +80,7 @@ class EngineConfig:
 
         Unknown keys are rejected so that typos in config files fail loudly.
         """
-        allowed = {"method", "params", "threshold", "retrain_every", "cumulative"}
+        allowed = {f.name for f in fields(cls)}
         unknown = set(data) - allowed
         if unknown:
             raise ConfigurationError(
@@ -76,13 +90,9 @@ class EngineConfig:
 
     def to_dict(self) -> dict[str, Any]:
         """The config as a plain dict (inverse of :meth:`from_dict`)."""
-        return {
-            "method": self.method,
-            "params": dict(self.params),
-            "threshold": self.threshold,
-            "retrain_every": self.retrain_every,
-            "cumulative": self.cumulative,
-        }
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["params"] = dict(self.params)
+        return out
 
     def with_overrides(self, **overrides: Any) -> "EngineConfig":
         """A copy of the config with ``overrides`` applied."""

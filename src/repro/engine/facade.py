@@ -16,7 +16,10 @@ separately for every new scenario:
   re-fitting the full model (paper Section 5.4);
 * :meth:`TruthEngine.predict_proba` — score fitted facts, or new claims from
   the learned source quality without re-fitting;
-* :meth:`TruthEngine.quality_report` — the learned per-source quality table.
+* :meth:`TruthEngine.quality_report` — the learned per-source quality table;
+* :meth:`TruthEngine.save` / :meth:`TruthEngine.load` / ``to_artifact`` —
+  versioned on-disk serving snapshots consumed by
+  :class:`~repro.serving.TruthService` (see :mod:`repro.serving`).
 
 The solver itself is resolved through the
 :class:`~repro.engine.registry.MethodRegistry` from a declarative
@@ -40,7 +43,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 import numpy as np
 
 from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
-from repro.core.incremental import IncrementalLTM
+from repro.core.incremental import IncrementalLTM, prior_mean_predictor
 from repro.core.priors import LTMPriors
 from repro.data.claim_builder import build_claim_matrix
 from repro.data.dataset import ClaimMatrix, TruthDataset
@@ -55,6 +58,7 @@ from repro.types import Triple
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.io.base import DataSource
     from repro.pipeline.integrate import IntegrationResult
+    from repro.serving.artifact import TruthArtifact
 
 __all__ = ["OnlineStepReport", "TruthEngine", "discover"]
 
@@ -184,6 +188,7 @@ class TruthEngine:
         self._history = RawDatabase(strict=False)
         self._since_last_fit = RawDatabase(strict=False)
         self._batches_since_fit = 0
+        self._steps_completed = 0
         self._quality: SourceQualityTable | None = None
         self._scores: dict[tuple[str, str], float] = {}
         self._result: TruthResult | None = None
@@ -301,6 +306,18 @@ class TruthEngine:
         priors = self.config.params.get("priors")
         return priors if priors is not None else LTMPriors()
 
+    def _incremental_predictor(self) -> IncrementalLTM:
+        """The closed-form LTMinc predictor over the learned quality table.
+
+        Sources that were unseen at fit time fall back to the *prior-mean*
+        quality (sensitivity ``priors.sensitivity.mean``, specificity
+        ``1 - priors.false_positive.mean``) — the documented cold-start
+        behaviour shared with :meth:`repro.serving.TruthService.score` — so
+        mixed seen/unseen batches score instead of failing.
+        """
+        assert self._quality is not None  # callers check before building
+        return prior_mean_predictor(self._quality, self._streaming_priors())
+
     # -- batch lifecycle ------------------------------------------------------------
     def ingest(
         self, triples: "Iterable[Triple | tuple] | DataSource | str"
@@ -371,6 +388,7 @@ class TruthEngine:
         self._history = RawDatabase(strict=False)
         self._since_last_fit = RawDatabase(strict=False)
         self._batches_since_fit = 0
+        self._steps_completed = 0
         self._quality = None
         self._scores = {}
         self._result = None
@@ -425,12 +443,7 @@ class TruthEngine:
         batch_matrix = build_claim_matrix(batch.triples, strict=False)
 
         if self._quality is not None:
-            priors = self._streaming_priors()
-            predictor = IncrementalLTM(
-                self._quality,
-                truth_prior=(priors.truth.positive, priors.truth.negative),
-            )
-            scores = predictor.fit(batch_matrix).scores
+            scores = self._incremental_predictor().fit(batch_matrix).scores
         else:
             # No quality learned yet: fall back to the per-fact voting proportion.
             positives = batch_matrix.positive_counts_per_fact().astype(float)
@@ -461,7 +474,34 @@ class TruthEngine:
                 fact_scores=fact_scores,
             )
         )
+        self._steps_completed += 1
+        if (
+            self.config.export_dir is not None
+            and self._steps_completed % self.config.export_every == 0
+        ):
+            self._export_step_artifact()
         return self
+
+    def _export_step_artifact(self) -> Path:
+        """Publish the current serving state under ``config.export_dir``.
+
+        Each export lands in its own ``step_<n>`` directory, so a
+        :class:`~repro.serving.TruthService` can
+        :meth:`~repro.serving.TruthService.refresh` onto the newest complete
+        snapshot while the stream keeps integrating.  ``<n>`` counts
+        lifetime integrated steps — it survives a save/load cycle (via the
+        artifact's ``steps_integrated`` extra), so an engine restored from a
+        step artifact keeps numbering forward instead of overwriting
+        earlier steps.
+        """
+        step = self._steps_completed
+        target = Path(self.config.export_dir) / f"step_{step:05d}"
+        report = self.reports[-1]
+        artifact = self.to_artifact(
+            name=f"{self.config.method}-step-{step:05d}",
+            extras={"step": step, "retrained": report.retrained},
+        )
+        return artifact.save(target)
 
     def _streaming_refit(self) -> None:
         """Periodic full re-fit of the streaming loop (paper Section 5.4)."""
@@ -500,6 +540,83 @@ class TruthEngine:
         self._since_last_fit = RawDatabase(strict=False)
         self._batches_since_fit = 0
 
+    # -- artifacts (the repro.serving seam) -----------------------------------------
+    def to_artifact(
+        self, name: str | None = None, extras: dict[str, Any] | None = None
+    ) -> "TruthArtifact":
+        """Snapshot the engine's serving state as a versioned artifact.
+
+        The artifact carries the engine config (method key, hyperparameters,
+        RNG seed), the learned source-quality table (when the method
+        estimates one) and the truth posterior of every fact integrated so
+        far — everything :class:`~repro.serving.TruthService` needs to
+        answer queries and score unseen claims without re-running inference.
+        It does *not* carry the raw triples: a loaded engine serves and
+        ``partial_fit``\\ s, but a cumulative re-fit only sees batches
+        streamed after the load.
+
+        Raises
+        ------
+        NotFittedError
+            If nothing has been fitted or integrated yet.
+        """
+        from repro.serving.artifact import TruthArtifact
+
+        if not self._scores:
+            raise NotFittedError("cannot export an artifact before fit/partial_fit")
+        pairs = list(self._scores.items())
+        return TruthArtifact(
+            config=self.config,
+            fact_entity=np.array([entity for (entity, _), _ in pairs], dtype=str),
+            fact_attribute=np.array([attr for (_, attr), _ in pairs], dtype=str),
+            fact_score=np.array([score for _, score in pairs], dtype=float),
+            quality=self._quality,
+            name=name if name is not None else self.config.method,
+            extras={"steps_integrated": self._steps_completed, **dict(extras or {})},
+        )
+
+    def save(self, path: "str | Path") -> Path:
+        """Write the engine's serving state to an artifact directory.
+
+        ``TruthEngine.load(path)`` restores an engine whose
+        :meth:`predict_proba` is score-identical; the directory is also
+        directly consumable by :class:`~repro.serving.TruthService` and the
+        ``repro-truth query`` CLI.
+        """
+        return self.to_artifact().save(path)
+
+    @classmethod
+    def from_artifact(
+        cls, artifact: "TruthArtifact", registry: MethodRegistry | None = None
+    ) -> "TruthEngine":
+        """Rebuild a serving-ready engine from an artifact (no refitting)."""
+        engine = cls(artifact.config, registry=registry)
+        engine._quality = artifact.quality
+        engine._scores = artifact.fact_scores()
+        engine._steps_completed = int(artifact.extras.get("steps_integrated", 0))
+        engine._result = TruthResult(
+            method=engine.registry.spec(artifact.config.method).display_name,
+            scores=artifact.fact_score.astype(float, copy=True),
+            source_quality=artifact.quality,
+            extras={"artifact": artifact.name, "repro_version": artifact.repro_version},
+        )
+        return engine
+
+    @classmethod
+    def load(
+        cls, path: "str | Path", registry: MethodRegistry | None = None
+    ) -> "TruthEngine":
+        """Restore an engine from an artifact directory written by :meth:`save`.
+
+        The loaded engine is immediately serving-capable: ``predict_proba()``
+        returns the saved scores, ``predict_proba(new_triples)`` scores new
+        claims under the stored quality table, and ``partial_fit`` continues
+        the stream.
+        """
+        from repro.serving.artifact import TruthArtifact
+
+        return cls.from_artifact(TruthArtifact.load(path), registry=registry)
+
     # -- prediction -----------------------------------------------------------------
     def predict_proba(
         self,
@@ -511,6 +628,13 @@ class TruthEngine:
         triples, a data source / catalog key, or a claim matrix, scores them
         with the closed-form LTMinc posterior under the learned source
         quality — serving-style prediction with no sampling.
+
+        Cold start: claims from sources that were unseen at fit time are
+        scored under the prior-mean quality (sensitivity
+        ``priors.sensitivity.mean``, specificity
+        ``1 - priors.false_positive.mean``) instead of failing, so mixed
+        seen/unseen batches work.  :meth:`repro.serving.TruthService.score`
+        shares this behaviour.
         """
         if data is None:
             return self.result().scores
@@ -522,12 +646,7 @@ class TruthEngine:
                 "predict_proba on new data needs learned source quality; "
                 "fit a quality-estimating method (e.g. 'ltm') first"
             )
-        priors = self._streaming_priors()
-        predictor = IncrementalLTM(
-            self._quality,
-            truth_prior=(priors.truth.positive, priors.truth.negative),
-        )
-        return predictor.fit(claims).scores
+        return self._incremental_predictor().fit(claims).scores
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         method = type(self._solver).__name__ if self._solver is not None else self.config.method

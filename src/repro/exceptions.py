@@ -26,6 +26,8 @@ __all__ = [
     "MissingGroundTruthError",
     "StreamError",
     "ConfigurationError",
+    "ArtifactError",
+    "ArtifactVersionWarning",
 ]
 
 
@@ -114,3 +116,14 @@ class StreamError(ReproError):
 
 class ConfigurationError(ReproError):
     """A configuration object contained inconsistent or invalid settings."""
+
+
+# ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+class ArtifactError(ReproError):
+    """A model artifact is missing, malformed or cannot be (de)serialised."""
+
+
+class ArtifactVersionWarning(UserWarning):
+    """An artifact was written by a different library version than the reader."""

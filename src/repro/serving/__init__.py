@@ -1,0 +1,46 @@
+"""Model serving (the library's third pillar, next to engine and io).
+
+:mod:`repro.engine` trains, :mod:`repro.io` feeds, and this package serves:
+it decouples *answering truth queries* from *running inference*, which is
+the split the paper itself recommends for deployment (Section 5.4: run LTM
+offline to update source quality, deploy the closed-form LTMinc for online
+prediction).
+
+* :class:`~repro.serving.artifact.TruthArtifact` — a versioned, portable
+  on-disk snapshot of a fitted engine: config + seed + library version in
+  JSON, learned quality / fact posteriors / index maps in ``.npz``.
+  Produced by :meth:`repro.engine.TruthEngine.save` /
+  ``to_artifact``, restored by :meth:`repro.engine.TruthEngine.load`.
+* :class:`~repro.serving.service.TruthService` — a hot-swappable query
+  layer: O(1) point lookups, batch and top-k queries, closed-form scoring
+  of unseen claims, and atomic :meth:`~repro.serving.service.TruthService.refresh`
+  snapshot swaps while a re-train publishes the next artifact.
+* :func:`~repro.serving.service.serve` — one-liner from anything servable
+  (artifact path, fitted engine, catalog key, triple file) to a running
+  service.
+
+Quickstart::
+
+    >>> from repro.engine import TruthEngine
+    >>> from repro.serving import TruthService
+    >>> engine = TruthEngine(method="voting").fit("paper_example")
+    >>> path = engine.save("/tmp/doctest-artifact")         # doctest: +SKIP
+    >>> service = TruthService(path)                        # doctest: +SKIP
+"""
+
+from repro.serving.artifact import (
+    SCHEMA_VERSION,
+    TruthArtifact,
+    load_artifact,
+    register_migration,
+)
+from repro.serving.service import TruthService, serve
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TruthArtifact",
+    "TruthService",
+    "load_artifact",
+    "register_migration",
+    "serve",
+]

@@ -59,6 +59,11 @@ class OnlineTruthFinder:
         carried over as priors (the paper's cheaper alternative).
     seed:
         Random seed for the re-fits.
+    artifact_dir:
+        When set, every integrated batch publishes a
+        :class:`~repro.serving.TruthArtifact` snapshot under this directory
+        (``step_00001``, ...) for a :class:`~repro.serving.TruthService` to
+        :meth:`~repro.serving.TruthService.refresh` onto.
 
     .. deprecated:: 1.2
         Use :class:`~repro.engine.TruthEngine` directly.
@@ -71,6 +76,7 @@ class OnlineTruthFinder:
         iterations: int = 50,
         cumulative: bool = True,
         seed: int | None = 11,
+        artifact_dir: str | None = None,
     ):
         warnings.warn(
             "OnlineTruthFinder is deprecated; construct a repro.engine.TruthEngine "
@@ -90,6 +96,7 @@ class OnlineTruthFinder:
                 },
                 retrain_every=retrain_every,
                 cumulative=cumulative,
+                export_dir=artifact_dir,
             )
         )
 
