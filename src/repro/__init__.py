@@ -24,10 +24,16 @@ with :func:`repro.io.as_source` — so ``repro.discover("books")`` or
 and answers point / batch / top-k truth queries — plus closed-form scoring
 of unseen claims — through a hot-swappable
 :class:`~repro.serving.TruthService` (``repro.serve("books")`` trains and
-serves in one line).  The historical entry points
-(:class:`IntegrationPipeline`, :class:`OnlineTruthFinder`,
-``default_method_suite``) remain as deprecated thin adapters over the
-engine.
+serves in one line).  On the scale-out side, :mod:`repro.parallel`
+hash-partitions any source by entity (:class:`~repro.parallel.ShardPlanner`),
+fits shards on serial / thread / process backends
+(:class:`~repro.parallel.ParallelExecutor`) and merges them with score
+parity — enabled per engine through
+:class:`~repro.engine.ExecutionConfig`, e.g.
+``TruthEngine(method="ltm", execution={"num_shards": 4, "backend":
+"processes"})``.  The PR-1-era deprecation shims (``IntegrationPipeline``,
+``OnlineTruthFinder``, ``repro.baselines.registry``) were removed in 1.4
+after their two-PR deprecation window.
 
 Quickstart
 ----------
@@ -76,7 +82,6 @@ from repro.baselines import (
     ThreeEstimates,
     TruthFinder,
     Voting,
-    default_method_suite,
 )
 from repro.evaluation import (
     ComparisonTable,
@@ -93,10 +98,11 @@ from repro.synth import (
     MovieDirectorSimulator,
     generate_ltm_dataset,
 )
-from repro.streaming import ClaimStream, OnlineTruthFinder
-from repro.pipeline import IntegrationPipeline, IntegrationResult, run_integration
+from repro.streaming import ClaimStream
+from repro.pipeline import IntegrationResult, run_integration
 from repro.engine import (
     EngineConfig,
+    ExecutionConfig,
     MethodRegistry,
     MethodSpec,
     TruthEngine,
@@ -111,17 +117,26 @@ from repro.io import (
     SourceSchema,
     as_source,
     default_catalog,
+    entity_partition_key,
     register_dataset,
+)
+from repro.parallel import (
+    MergedFit,
+    ParallelExecutor,
+    ShardPlan,
+    ShardPlanner,
+    merge_artifacts,
 )
 from repro.serving import TruthArtifact, TruthService, load_artifact, serve
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
     # unified engine (canonical API)
     "TruthEngine",
     "EngineConfig",
+    "ExecutionConfig",
     "MethodRegistry",
     "MethodSpec",
     "default_registry",
@@ -135,7 +150,14 @@ __all__ = [
     "DatasetSpec",
     "as_source",
     "default_catalog",
+    "entity_partition_key",
     "register_dataset",
+    # sharded parallel execution (canonical scale-out API)
+    "ShardPlanner",
+    "ShardPlan",
+    "ParallelExecutor",
+    "MergedFit",
+    "merge_artifacts",
     # serving (canonical serve-side API)
     "TruthArtifact",
     "TruthService",
@@ -170,7 +192,6 @@ __all__ = [
     "Investment",
     "PooledInvestment",
     "ThreeEstimates",
-    "default_method_suite",
     # evaluation
     "EvaluationMetrics",
     "ComparisonTable",
@@ -186,7 +207,5 @@ __all__ = [
     "MovieDirectorSimulator",
     # streaming / pipeline
     "ClaimStream",
-    "OnlineTruthFinder",
-    "IntegrationPipeline",
     "IntegrationResult",
 ]

@@ -17,6 +17,13 @@ interface as LTM, so the comparison harness can run any mix of methods.
 * :class:`ThreeEstimates` — Galland et al. (WSDM 2010): jointly estimates fact
   truth, source error and fact difficulty using both positive and negative
   claims.
+
+Method resolution lives in the unified registry
+(:func:`repro.engine.default_registry`); the comparison suite is built by
+:func:`repro.engine.method_suite`.  The historical
+``repro.baselines.registry`` shim (``all_methods`` / ``get_method`` /
+``default_method_suite``) was removed in 1.4 after its two-PR deprecation
+window.
 """
 
 from repro.baselines.voting import Voting
@@ -26,7 +33,6 @@ from repro.baselines.avglog import AvgLog
 from repro.baselines.investment import Investment
 from repro.baselines.pooled_investment import PooledInvestment
 from repro.baselines.three_estimates import ThreeEstimates
-from repro.baselines.registry import all_methods, default_method_suite, get_method
 
 __all__ = [
     "Voting",
@@ -36,7 +42,4 @@ __all__ = [
     "Investment",
     "PooledInvestment",
     "ThreeEstimates",
-    "all_methods",
-    "default_method_suite",
-    "get_method",
 ]

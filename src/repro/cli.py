@@ -9,10 +9,16 @@ core workflow without writing Python:
   on a triple file and print the merged records and the source-quality report;
 * ``repro-truth integrate --source books`` — the same, but reading from any
   dataset-catalog key (or file path) resolved through :mod:`repro.io`;
+* ``repro-truth integrate --source movies --shards 4 --backend processes`` —
+  the same again, entity-sharded through :mod:`repro.parallel`;
 * ``repro-truth compare in.tsv labels.tsv`` — run the full method comparison
   against a ground-truth label file;
 * ``repro-truth export books art/`` — fit a method on any catalog key or
   triple file and write a versioned serving artifact (:mod:`repro.serving`);
+  with ``--shards N`` the fit runs sharded, and ``--shard-dir parts/``
+  additionally publishes the per-shard artifacts;
+* ``repro-truth merge merged/ parts/shard_*`` — recombine per-shard
+  artifacts into one servable artifact;
 * ``repro-truth query art/ "Harry Potter"`` — answer truth queries from a
   saved artifact without re-running inference;
 * ``repro-truth methods`` — list every registered solver with its metadata;
@@ -91,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     integrate.add_argument("--threshold", type=float, default=0.5, help="acceptance threshold")
     integrate.add_argument("--seed", type=int, default=7, help="random seed")
     integrate.add_argument("--max-records", type=int, default=20, help="merged records to print")
+    _add_execution_arguments(integrate)
 
     compare = subparsers.add_parser("compare", help="compare all methods against labels")
     compare.add_argument("input", help="triple TSV with header entity/attribute/source")
@@ -120,6 +127,19 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--threshold", type=float, default=0.5, help="acceptance threshold")
     export.add_argument("--seed", type=int, default=7, help="random seed")
     export.add_argument("--name", default=None, help="artifact name (defaults to the method)")
+    _add_execution_arguments(export)
+    export.add_argument(
+        "--shard-dir",
+        default=None,
+        help="with --shards: also write the per-shard artifacts into this directory",
+    )
+
+    merge = subparsers.add_parser(
+        "merge", help="combine per-shard artifacts into one servable artifact"
+    )
+    merge.add_argument("output", help="merged artifact directory to write")
+    merge.add_argument("shards", nargs="+", help="shard artifact directories (in shard order)")
+    merge.add_argument("--name", default=None, help="merged artifact name")
 
     query = subparsers.add_parser("query", help="answer truth queries from a saved artifact")
     query.add_argument("artifact", help="artifact directory written by 'export'")
@@ -139,6 +159,46 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("methods", help="list registered truth methods and their metadata")
     subparsers.add_parser("datasets", help="list catalog datasets and their metadata")
     return parser
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared sharded-execution flags (see ``repro.parallel``)."""
+    from repro.engine.config import EXECUTION_BACKENDS
+
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="entity shards to fit in parallel (1 = classic single-shard run)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(EXECUTION_BACKENDS),
+        default="processes",
+        help="where shard fits run when --shards > 1 (default: processes)",
+    )
+    parser.add_argument(
+        "--sync-rounds",
+        type=int,
+        default=1,
+        help="quality-sync rounds of the shard merge for LTM-family methods",
+    )
+
+
+def _execution_from_args(args: argparse.Namespace):
+    """Build the ExecutionConfig requested by --shards/--backend, or None."""
+    shards = getattr(args, "shards", 1)
+    if shards < 1:
+        raise ConfigurationError("--shards must be at least 1")
+    if shards == 1:
+        return None
+    from repro.engine.config import ExecutionConfig
+
+    return ExecutionConfig(
+        num_shards=shards,
+        backend=args.backend,
+        quality_sync_rounds=args.sync_rounds,
+    )
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
@@ -192,6 +252,7 @@ def _run_integrate(args: argparse.Namespace) -> int:
     if spec.accepts("seed"):
         params["seed"] = args.seed
     try:
+        execution = _execution_from_args(args)
         if args.source is not None:
             # --source resolves catalog-first (keys shadow same-named files).
             source = as_source(args.source)
@@ -200,12 +261,33 @@ def _run_integrate(args: argparse.Namespace) -> int:
             # a local file named like a catalog key still means the file.
             path = Path(args.input)
             source = as_source(path) if path.exists() else as_source(args.input)
-        result = discover(source, method=args.method, threshold=args.threshold, **params)
+        if execution is not None:
+            # Entity-sharded run through repro.parallel (run_integration
+            # routes the fit through the engine's executor path).
+            from repro.pipeline.integrate import run_integration
+
+            result = run_integration(
+                source,
+                method=args.method,
+                threshold=args.threshold,
+                execution=execution,
+                **params,
+            )
+        else:
+            result = discover(source, method=args.method, threshold=args.threshold, **params)
     except (ConfigurationError, DataModelError, EmptyDatasetError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
     print(format_integration_summary(result))
+    execution_info = (
+        result.truth_result.extras.get("execution") if result.truth_result else None
+    )
+    if execution_info:
+        print(
+            f"execution: {execution_info['num_shards']} entity shards on the "
+            f"{execution_info['backend']!r} backend"
+        )
     print()
     print("Merged records")
     print("--------------")
@@ -255,14 +337,27 @@ def _run_export(args: argparse.Namespace) -> int:
     if spec.accepts("seed"):
         params["seed"] = args.seed
     try:
+        execution = _execution_from_args(args)
+        if args.shard_dir is not None and execution is None:
+            print("error: --shard-dir requires --shards > 1", file=sys.stderr)
+            return 2
         # Positional input keeps integrate's file-first semantics: a local
         # file named like a catalog key still means the file.
         path = Path(args.source)
         source = as_source(path) if path.exists() else as_source(args.source)
-        engine = TruthEngine(method=args.method, threshold=args.threshold, **params)
+        engine_kwargs = {"execution": execution} if execution is not None else {}
+        engine = TruthEngine(
+            method=args.method, threshold=args.threshold, **engine_kwargs, **params
+        )
         engine.fit(source)
         artifact = engine.to_artifact(name=args.name)
         path = artifact.save(args.output)
+        shard_paths = []
+        if args.shard_dir is not None:
+            shard_root = Path(args.shard_dir)
+            for shard in engine.shard_artifacts(name=args.name):
+                index = shard.extras["shard"]["index"]
+                shard_paths.append(shard.save(shard_root / f"shard_{index:02d}"))
     except (ArtifactError, ConfigurationError, DataModelError, EmptyDatasetError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -272,6 +367,26 @@ def _run_export(args: argparse.Namespace) -> int:
         f"{info['facts']} facts, {info['entities']} entities, "
         f"{info['sources']} sources, schema v{info['schema_version']}, "
         f"repro {info['repro_version']}) to {path}"
+    )
+    for shard_path in shard_paths:
+        print(f"wrote shard artifact {shard_path}")
+    return 0
+
+
+def _run_merge(args: argparse.Namespace) -> int:
+    from repro.parallel import merge_artifacts
+
+    try:
+        artifact = merge_artifacts(args.shards, name=args.name)
+        path = artifact.save(args.output)
+    except (ArtifactError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    info = artifact.summary()
+    print(
+        f"merged {len(args.shards)} shard artifact(s) into {info['name']!r} "
+        f"({info['facts']} facts, {info['entities']} entities, "
+        f"{info['sources']} sources) at {path}"
     )
     return 0
 
@@ -406,6 +521,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_compare(args)
     if args.command == "export":
         return _run_export(args)
+    if args.command == "merge":
+        return _run_merge(args)
     if args.command == "query":
         return _run_query(args)
     if args.command == "methods":

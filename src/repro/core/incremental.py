@@ -25,7 +25,62 @@ from repro.core.priors import LTMPriors
 from repro.data.dataset import ClaimMatrix
 from repro.exceptions import ModelError
 
-__all__ = ["posterior_truth_probability", "IncrementalLTM", "prior_mean_predictor"]
+__all__ = [
+    "posterior_truth_probability",
+    "posterior_truth_probability_arrays",
+    "IncrementalLTM",
+    "prior_mean_predictor",
+]
+
+
+def posterior_truth_probability_arrays(
+    claim_fact: np.ndarray,
+    claim_source: np.ndarray,
+    claim_obs: np.ndarray,
+    num_facts: int,
+    sensitivity: np.ndarray,
+    specificity: np.ndarray,
+    truth_prior: tuple[float, float] = (0.5, 0.5),
+) -> np.ndarray:
+    """Equation (3) on raw claim arrays (see :func:`posterior_truth_probability`).
+
+    This array form is what the sharded reducer
+    (:mod:`repro.parallel.merge`) uses to re-score a shard's facts under the
+    globally merged source quality without rebuilding a
+    :class:`~repro.data.dataset.ClaimMatrix`.  ``claim_source`` must index
+    into the quality arrays (which may cover more sources than the shard
+    mentions).
+    """
+    sensitivity = np.asarray(sensitivity, dtype=float)
+    specificity = np.asarray(specificity, dtype=float)
+    if sensitivity.shape != specificity.shape or sensitivity.ndim != 1:
+        raise ModelError("sensitivity and specificity must be parallel per-source arrays")
+    if claim_source.size and int(claim_source.max()) >= sensitivity.shape[0]:
+        raise ModelError("claim references a source id outside the quality arrays")
+    beta1, beta0 = float(truth_prior[0]), float(truth_prior[1])
+    if beta1 <= 0 or beta0 <= 0:
+        raise ModelError("truth prior weights must be positive")
+
+    eps = 1e-12
+    phi1 = np.clip(sensitivity, eps, 1 - eps)
+    phi0 = np.clip(1.0 - specificity, eps, 1 - eps)
+
+    obs = claim_obs.astype(float)
+    src = claim_source
+
+    log_true = obs * np.log(phi1[src]) + (1 - obs) * np.log(1 - phi1[src])
+    log_false = obs * np.log(phi0[src]) + (1 - obs) * np.log(1 - phi0[src])
+
+    log_p_true = np.full(num_facts, np.log(beta1))
+    log_p_false = np.full(num_facts, np.log(beta0))
+    np.add.at(log_p_true, claim_fact, log_true)
+    np.add.at(log_p_false, claim_fact, log_false)
+
+    # Normalise in log space for numerical stability.
+    max_log = np.maximum(log_p_true, log_p_false)
+    p_true = np.exp(log_p_true - max_log)
+    p_false = np.exp(log_p_false - max_log)
+    return p_true / (p_true + p_false)
 
 
 def posterior_truth_probability(
@@ -65,30 +120,15 @@ def posterior_truth_probability(
         raise ModelError(
             "sensitivity and specificity must be per-source arrays matching the claim matrix"
         )
-    beta1, beta0 = float(truth_prior[0]), float(truth_prior[1])
-    if beta1 <= 0 or beta0 <= 0:
-        raise ModelError("truth prior weights must be positive")
-
-    eps = 1e-12
-    phi1 = np.clip(sensitivity, eps, 1 - eps)
-    phi0 = np.clip(1.0 - specificity, eps, 1 - eps)
-
-    obs = claims.claim_obs.astype(float)
-    src = claims.claim_source
-
-    log_true = obs * np.log(phi1[src]) + (1 - obs) * np.log(1 - phi1[src])
-    log_false = obs * np.log(phi0[src]) + (1 - obs) * np.log(1 - phi0[src])
-
-    log_p_true = np.full(claims.num_facts, np.log(beta1))
-    log_p_false = np.full(claims.num_facts, np.log(beta0))
-    np.add.at(log_p_true, claims.claim_fact, log_true)
-    np.add.at(log_p_false, claims.claim_fact, log_false)
-
-    # Normalise in log space for numerical stability.
-    max_log = np.maximum(log_p_true, log_p_false)
-    p_true = np.exp(log_p_true - max_log)
-    p_false = np.exp(log_p_false - max_log)
-    return p_true / (p_true + p_false)
+    return posterior_truth_probability_arrays(
+        claims.claim_fact,
+        claims.claim_source,
+        claims.claim_obs,
+        claims.num_facts,
+        sensitivity,
+        specificity,
+        truth_prior=truth_prior,
+    )
 
 
 def prior_mean_predictor(

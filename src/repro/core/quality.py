@@ -20,7 +20,36 @@ from repro.core.priors import LTMPriors
 from repro.data.dataset import ClaimMatrix
 from repro.exceptions import ModelError
 
-__all__ = ["expected_confusion_counts", "estimate_source_quality"]
+__all__ = [
+    "expected_confusion_counts",
+    "expected_confusion_counts_arrays",
+    "estimate_source_quality",
+    "quality_from_counts",
+]
+
+
+def expected_confusion_counts_arrays(
+    claim_fact: np.ndarray,
+    claim_source: np.ndarray,
+    claim_obs: np.ndarray,
+    num_sources: int,
+    scores: np.ndarray,
+) -> np.ndarray:
+    """Expected confusion counts ``E[n[s, i, j]]`` from raw claim arrays.
+
+    The array form of :func:`expected_confusion_counts`, used by the sharded
+    reducer (:mod:`repro.parallel.merge`) to accumulate a shard's count
+    contribution onto the *global* source axis: ``claim_source`` may index
+    into a source table larger than the shard's own.
+    """
+    scores = np.asarray(scores, dtype=float)
+    expected = np.zeros((num_sources, 2, 2), dtype=float)
+    p_true = scores[claim_fact]
+    obs = claim_obs.astype(np.int64)
+    # i = 1 bucket weighted by P(true); i = 0 bucket weighted by P(false).
+    np.add.at(expected, (claim_source, np.ones_like(obs), obs), p_true)
+    np.add.at(expected, (claim_source, np.zeros_like(obs), obs), 1.0 - p_true)
+    return expected
 
 
 def expected_confusion_counts(claims: ClaimMatrix, scores: np.ndarray) -> np.ndarray:
@@ -38,14 +67,9 @@ def expected_confusion_counts(claims: ClaimMatrix, scores: np.ndarray) -> np.nda
         raise ModelError(
             f"scores must have shape ({claims.num_facts},), got {scores.shape}"
         )
-    expected = np.zeros((claims.num_sources, 2, 2), dtype=float)
-    p_true = scores[claims.claim_fact]
-    obs = claims.claim_obs.astype(np.int64)
-    sources = claims.claim_source
-    # i = 1 bucket weighted by P(true); i = 0 bucket weighted by P(false).
-    np.add.at(expected, (sources, np.ones_like(obs), obs), p_true)
-    np.add.at(expected, (sources, np.zeros_like(obs), obs), 1.0 - p_true)
-    return expected
+    return expected_confusion_counts_arrays(
+        claims.claim_fact, claims.claim_source, claims.claim_obs, claims.num_sources, scores
+    )
 
 
 def estimate_source_quality(
@@ -65,9 +89,30 @@ def estimate_source_quality(
     ``(E[n_{s,1,1}] + E[n_{s,0,0}]) / E[n_s]`` without prior smoothing; it is
     informational only (the paper argues against using it to model quality).
     """
-    priors = priors if priors is not None else LTMPriors()
     expected = expected_confusion_counts(claims, scores)
-    alpha = priors.alpha_array(claims.source_names)
+    return quality_from_counts(claims.source_names, expected, priors)
+
+
+def quality_from_counts(
+    source_names,
+    expected_counts: np.ndarray,
+    priors: LTMPriors | None = None,
+) -> SourceQualityTable:
+    """The MAP quality table implied by expected confusion counts.
+
+    Factored out of :func:`estimate_source_quality` so that sharded
+    execution (:mod:`repro.parallel.merge`) can compute one global quality
+    table from *summed* per-shard count contributions — expected counts are
+    additive across entity shards, which is exactly what makes the merge
+    score-parity for count-based quality.
+    """
+    priors = priors if priors is not None else LTMPriors()
+    expected = np.asarray(expected_counts, dtype=float)
+    if expected.shape != (len(source_names), 2, 2):
+        raise ModelError(
+            f"expected counts must have shape ({len(source_names)}, 2, 2), got {expected.shape}"
+        )
+    alpha = priors.alpha_array(source_names)
 
     tp = expected[:, 1, 1]
     fn = expected[:, 1, 0]
@@ -88,7 +133,7 @@ def estimate_source_quality(
         accuracy = np.where(totals > 0, (tp + tn) / totals, np.nan)
 
     return SourceQualityTable(
-        source_names=tuple(claims.source_names),
+        source_names=tuple(source_names),
         sensitivity=sensitivity,
         specificity=specificity,
         precision=precision,

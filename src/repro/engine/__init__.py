@@ -16,15 +16,15 @@ The serve-side counterpart is :mod:`repro.serving`:
 :meth:`~repro.engine.facade.TruthEngine.save` / ``load`` / ``to_artifact``
 snapshot a fitted engine into a versioned
 :class:`~repro.serving.TruthArtifact`, served by a hot-swappable
-:class:`~repro.serving.TruthService`.
+:class:`~repro.serving.TruthService`.  The scale-out counterpart is
+:mod:`repro.parallel`: an :class:`~repro.engine.config.ExecutionConfig`
+with ``num_shards > 1`` routes fits through entity-sharded parallel
+execution with score-parity merging.
 
-The historical entry points
-(:class:`~repro.pipeline.integrate.IntegrationPipeline`,
-:class:`~repro.streaming.online.OnlineTruthFinder`, the
-``repro-truth`` CLI) are thin adapters over this package.
+The ``repro-truth`` CLI is a thin adapter over this package.
 """
 
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, ExecutionConfig
 from repro.engine.registry import (
     MethodRegistry,
     MethodSpec,
@@ -36,6 +36,7 @@ from repro.engine.facade import OnlineStepReport, TruthEngine, discover
 
 __all__ = [
     "EngineConfig",
+    "ExecutionConfig",
     "MethodRegistry",
     "MethodSpec",
     "OnlineStepReport",

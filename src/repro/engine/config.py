@@ -11,12 +11,93 @@ configuration concern.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["EngineConfig"]
+__all__ = ["EngineConfig", "ExecutionConfig"]
+
+#: Executor backends accepted by :attr:`ExecutionConfig.backend`.
+EXECUTION_BACKENDS = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a fit is executed: single-shard or entity-sharded parallel.
+
+    The default (``num_shards=1``) is the classic single-shard path.  With
+    ``num_shards > 1``, :meth:`~repro.engine.TruthEngine.fit` (and streaming
+    re-fits) hash-partition the input by entity through
+    :class:`~repro.parallel.ShardPlanner`, fit every shard on the configured
+    backend and merge the per-shard results with
+    :mod:`repro.parallel.merge` — score-parity with the single-shard engine
+    for entity-decomposable methods (see :mod:`repro.parallel`).
+
+    Attributes
+    ----------
+    num_shards:
+        Number of entity shards (1 = no sharding).
+    backend:
+        Where shard fits run: ``"serial"`` (in-process loop — the debug /
+        reference backend), ``"threads"`` (a thread pool; best for the
+        vectorised methods that release the GIL in numpy) or
+        ``"processes"`` (a process pool; best for the Python-loop Gibbs
+        sampler).
+    quality_sync_rounds:
+        Number of post-merge quality-synchronisation rounds for
+        count-mergeable methods (LTM family): each round recomputes the
+        global source quality from the summed per-shard confusion counts
+        and re-scores every shard's facts under it with the closed-form
+        posterior (Equation 3), so cross-shard sources converge to a single
+        quality estimate.  0 keeps the raw per-shard scores.
+    max_workers:
+        Worker cap for the threads/processes backends (``None`` = one per
+        shard, capped by the machine).
+    partition_seed:
+        Seed of the entity hash-partitioning
+        (:func:`repro.io.entity_partition_key`); changing it re-balances
+        shard membership deterministically.
+    """
+
+    num_shards: int = 1
+    backend: str = "serial"
+    quality_sync_rounds: int = 1
+    max_workers: int | None = None
+    partition_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("num_shards must be at least 1")
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ConfigurationError(
+                f"unknown execution backend {self.backend!r}; "
+                f"choose one of {list(EXECUTION_BACKENDS)}"
+            )
+        if self.quality_sync_rounds < 0:
+            raise ConfigurationError("quality_sync_rounds must be non-negative")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1 (or None)")
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this config requests multi-shard execution."""
+        return self.num_shards > 1
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionConfig":
+        """Build an execution config from a plain mapping (e.g. parsed JSON)."""
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown ExecutionConfig keys: {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        return cls(**dict(data))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The execution config as a plain JSON-safe dict."""
+        return asdict(self)
 
 
 @dataclass(frozen=True)
@@ -52,6 +133,10 @@ class EngineConfig:
         Streaming only: publish an artifact after every ``export_every``
         :meth:`~repro.engine.TruthEngine.partial_fit` steps (default 1:
         every step).
+    execution:
+        The :class:`ExecutionConfig` governing sharded parallel execution
+        (defaults to single-shard serial).  A plain dict is accepted and
+        coerced, so configs keep loading from JSON.
     """
 
     method: str = "ltm"
@@ -61,8 +146,15 @@ class EngineConfig:
     cumulative: bool = True
     export_dir: str | None = None
     export_every: int = 1
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.execution, Mapping):
+            object.__setattr__(self, "execution", ExecutionConfig.from_dict(self.execution))
+        elif not isinstance(self.execution, ExecutionConfig):
+            raise ConfigurationError(
+                "execution must be an ExecutionConfig (or a mapping of its fields)"
+            )
         if not isinstance(self.method, str) or not self.method.strip():
             raise ConfigurationError("method must be a non-empty string")
         if not 0.0 <= self.threshold <= 1.0:
@@ -92,6 +184,7 @@ class EngineConfig:
         """The config as a plain dict (inverse of :meth:`from_dict`)."""
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["params"] = dict(self.params)
+        out["execution"] = self.execution.to_dict()
         return out
 
     def with_overrides(self, **overrides: Any) -> "EngineConfig":

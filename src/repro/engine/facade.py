@@ -5,10 +5,12 @@ Historically the library exposed three disjoint entry styles — to be wired
 separately for every new scenario:
 
 * ``TruthMethod.fit(claims)`` for batch solvers,
-* :class:`~repro.streaming.online.OnlineTruthFinder` for streams,
-* :class:`~repro.pipeline.integrate.IntegrationPipeline` for end-to-end runs.
+* an ``OnlineTruthFinder`` class for streams,
+* an ``IntegrationPipeline`` class for end-to-end runs.
 
-:class:`TruthEngine` unifies them behind a single sklearn-style lifecycle:
+:class:`TruthEngine` unifies them behind a single sklearn-style lifecycle
+(the two historical classes were removed in 1.4 after their deprecation
+window):
 
 * :meth:`TruthEngine.fit` — full batch fit on triples or a claim matrix;
 * :meth:`TruthEngine.partial_fit` — integrate one arriving batch, scoring it
@@ -24,8 +26,16 @@ separately for every new scenario:
 The solver itself is resolved through the
 :class:`~repro.engine.registry.MethodRegistry` from a declarative
 :class:`~repro.engine.config.EngineConfig`, so switching methods, backends or
-hyperparameters is a configuration change, not a code change.  The historical
-entry points remain as thin adapters over this class.
+hyperparameters is a configuration change, not a code change.
+
+Scale-out is a configuration change too: an
+:class:`~repro.engine.config.ExecutionConfig` with ``num_shards > 1`` makes
+:meth:`TruthEngine.fit` (and streaming re-fits) hash-partition the corpus by
+entity and run through :mod:`repro.parallel` — the
+:class:`~repro.parallel.ShardPlanner` / :class:`~repro.parallel.ParallelExecutor`
+/ :mod:`~repro.parallel.merge` pipeline — with score-parity guarantees per
+method family (see the :mod:`repro.parallel` docs and the README's
+"Scaling out" section).
 
 The :func:`discover` one-liner covers the quickstart path::
 
@@ -36,6 +46,7 @@ The :func:`discover` one-liner covers the quickstart path::
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable
@@ -51,7 +62,7 @@ from repro.data.raw import RawDatabase
 from repro.store.table import Table
 from repro.engine.config import EngineConfig
 from repro.engine.registry import MethodRegistry, default_registry
-from repro.exceptions import ConfigurationError, NotFittedError, StreamError
+from repro.exceptions import ConfigurationError, ModelError, NotFittedError, StreamError
 from repro.streaming.stream import ClaimBatch
 from repro.types import Triple
 
@@ -174,6 +185,8 @@ class TruthEngine:
                 f"solver must be a TruthMethod instance, got {type(solver).__name__}"
             )
         self._solver = solver
+        if config.execution.sharded:
+            self._reject_sharded_solver_instance()
         if solver is None:
             # Fail fast on unknown methods; extension models are resolvable
             # but rejected at fit time with a pointed error.
@@ -193,6 +206,7 @@ class TruthEngine:
         self._scores: dict[tuple[str, str], float] = {}
         self._result: TruthResult | None = None
         self._claims: ClaimMatrix | None = None
+        self._shard_fits: list[Any] = []
         self.reports: list[OnlineStepReport] = []
 
     # -- state access ---------------------------------------------------------------
@@ -355,9 +369,10 @@ class TruthEngine:
             prebuilt :class:`~repro.data.dataset.ClaimMatrix`, or ``None``.
             Note that a prebuilt matrix cannot be decomposed back into raw
             triples, so it does not seed the streaming history: follow-up
-            :meth:`partial_fit` re-fits will only see the streamed batches.
-            Use triples / source input (or :meth:`ingest`) when mixing
-            batch and streaming.
+            :meth:`partial_fit` re-fits will only see the streamed batches —
+            and it cannot be entity-partitioned, so sharded execution
+            (``config.execution.num_shards > 1``) requires triple / source
+            input.
 
         Returns
         -------
@@ -366,12 +381,14 @@ class TruthEngine:
         """
         if _is_source_like(data):
             data = _source_triples(data)
+        corpus: RawDatabase | None
         if isinstance(data, ClaimMatrix):
             self._reset_state()
             claims = data
+            corpus = None
         else:
             if data is None:
-                corpus: RawDatabase = self._history
+                corpus = self._history
             else:
                 self._reset_state()
                 self._history.extend(data)
@@ -379,9 +396,153 @@ class TruthEngine:
             corpus.require_non_empty()
             claims = build_claim_matrix(corpus, strict=False)
 
-        result = self.make_solver().fit(claims)
+        if self.config.execution.sharded:
+            self._reject_sharded_solver_instance()
+            if corpus is None:
+                raise ConfigurationError(
+                    "sharded execution (num_shards > 1) partitions raw triples "
+                    "by entity and cannot decompose a prebuilt ClaimMatrix; "
+                    "pass triples or a data source instead"
+                )
+            result = self._parallel_fit(claims, corpus)
+        else:
+            result = self.make_solver().fit(claims)
         self._absorb_fit(claims, result)
         return self
+
+    def _reject_sharded_solver_instance(self) -> None:
+        """Sharding never silently degrades: a prebuilt solver cannot shard.
+
+        The constructor already rejects the combination; this guards the
+        supported pattern of reassigning ``engine.config`` mid-lifecycle.
+        """
+        if self._solver is not None:
+            raise ConfigurationError(
+                "sharded execution (num_shards > 1) resolves the solver through "
+                "the registry on every shard and cannot ship a prebuilt solver "
+                "instance; configure the method by key instead"
+            )
+
+    def _parallel_fit(
+        self,
+        claims: ClaimMatrix,
+        corpus: RawDatabase,
+        priors_override: LTMPriors | None = None,
+    ) -> TruthResult:
+        """Fit through :mod:`repro.parallel` and realign onto ``claims``.
+
+        The corpus is hash-partitioned by entity
+        (:class:`~repro.parallel.ShardPlanner`), every shard is fitted on
+        the configured backend (:class:`~repro.parallel.ParallelExecutor`)
+        and the per-shard results are reduced by the method's
+        score-parity merge strategy (:mod:`repro.parallel.merge`).  The
+        merged scores are re-indexed onto the full claim matrix's fact ids,
+        so downstream state (``predict_proba``, artifacts, serving) is
+        laid out exactly as a single-shard fit.
+        """
+        from repro.parallel import ParallelExecutor, ShardPlanner
+
+        execution = self.config.execution
+        spec = self.registry.spec(self.config.method)
+        if not spec.claim_based:
+            raise ConfigurationError(
+                f"method {spec.key!r} does not consume claim matrices and cannot "
+                f"be driven through TruthEngine; instantiate "
+                f"{spec.factory.__name__} directly"
+            )
+        params = dict(self.config.params)
+        if priors_override is not None and spec.accepts("priors"):
+            params["priors"] = priors_override
+        if spec.requires_quality and "source_quality" not in params:
+            if self._quality is None:
+                raise ConfigurationError(
+                    f"method {spec.key!r} needs previously learned source quality; "
+                    f"pass source_quality in params or fit a quality-estimating "
+                    f"method first"
+                )
+            params["source_quality"] = self._quality
+        if spec.accepts("priors") and params.get("priors") is None:
+            # Resolve the method's default priors once, on the full corpus, so
+            # every shard and the count merge share a single prior instead of
+            # each shard adapting to its own slice.  LTMpos defaults to the
+            # fact-scaled specificity prior (its positive-only evidence cannot
+            # rule out the all-flipped solution); LTM to the data-adaptive one.
+            if spec.shard_strategy == "counts":
+                params["priors"] = LTMPriors.adaptive(claims)
+            elif spec.shard_strategy == "counts_positive":
+                params["priors"] = LTMPriors.scaled_to(claims.num_facts)
+
+        start = time.perf_counter()
+        plan = ShardPlanner(execution.num_shards, seed=execution.partition_seed).plan(
+            corpus
+        )
+        executor = ParallelExecutor(execution.backend, max_workers=execution.max_workers)
+        merged = executor.fit(
+            plan,
+            self.config.method,
+            params,
+            quality_sync_rounds=execution.quality_sync_rounds,
+            registry=self.registry,
+        )
+
+        index = {(fact.entity, fact.attribute): fact.fact_id for fact in claims.facts}
+        scores = np.full(claims.num_facts, np.nan)
+        for entity, attribute, score in zip(
+            merged.fact_entities, merged.fact_attributes, merged.scores
+        ):
+            scores[index[(entity, attribute)]] = score
+        if np.isnan(scores).any():
+            raise ModelError(
+                "sharded merge did not cover every fact of the claim matrix; "
+                "this indicates a partitioning bug"
+            )
+        self._shard_fits = list(merged.shards)
+        # The params actually dispatched (resolved priors / carried quality),
+        # recorded so per-shard artifacts are self-contained reproducible.
+        self._shard_params = dict(params)
+        return TruthResult(
+            method=spec.display_name,
+            scores=scores,
+            source_quality=merged.quality,
+            runtime_seconds=time.perf_counter() - start,
+            extras={
+                "execution": execution.to_dict(),
+                "shards": merged.shard_summaries(),
+                **merged.extras,
+            },
+        )
+
+    def shard_artifacts(self, name: str | None = None) -> "list[TruthArtifact]":
+        """Per-shard serving artifacts of the last sharded fit.
+
+        Each artifact snapshots one shard's facts, scores and quality (with
+        the shard's expected confusion counts recorded in
+        ``extras["shard"]``), so the set can be published independently and
+        later recombined with :func:`repro.parallel.merge_artifacts` into a
+        single artifact servable by :class:`~repro.serving.TruthService`.
+
+        Raises
+        ------
+        NotFittedError
+            If no sharded fit has run (``execution.num_shards`` was 1, or
+            nothing was fitted yet).
+        """
+        from repro.parallel.merge import shard_artifact
+
+        if not self._shard_fits:
+            raise NotFittedError(
+                "no sharded fit has run; configure execution.num_shards > 1 "
+                "and call fit first"
+            )
+        base = name if name is not None else self.config.method
+        # Record the dispatched params (resolved adaptive priors, carried
+        # quality) so a shard artifact fully describes how its shard was fit
+        # and merge_artifacts recombines under the same priors.
+        config = self.config.with_params(**getattr(self, "_shard_params", {}))
+        return [
+            shard_artifact(fit, config, name=f"{base}-shard-{fit.index:02d}")
+            for fit in self._shard_fits
+        ]
 
     def _reset_state(self) -> None:
         """Drop all accumulated state ahead of a fresh fit."""
@@ -393,6 +554,7 @@ class TruthEngine:
         self._scores = {}
         self._result = None
         self._claims = None
+        self._shard_fits = []
         self.reports = []
 
     def _absorb_fit(self, claims: ClaimMatrix, result: TruthResult) -> None:
@@ -529,7 +691,11 @@ class TruthEngine:
                 )
 
         matrix = build_claim_matrix(corpus, strict=False)
-        result = self.make_solver(priors=priors_override).fit(matrix)
+        if self.config.execution.sharded:
+            self._reject_sharded_solver_instance()
+            result = self._parallel_fit(matrix, corpus, priors_override=priors_override)
+        else:
+            result = self.make_solver(priors=priors_override).fit(matrix)
         self._result = result
         self._claims = matrix
         if result.source_quality is not None:

@@ -6,8 +6,9 @@ canonical string key together with per-method metadata (whether it supports
 incremental prediction, whether it estimates source quality, the range of its
 scores).  The registry is the single place a new backend has to be wired:
 once registered, a method is reachable from :class:`~repro.engine.TruthEngine`,
-:func:`repro.discover`, :class:`~repro.pipeline.IntegrationPipeline` and the
-``repro-truth`` CLI (``--method`` flag and ``methods`` subcommand) alike.
+:func:`repro.discover`, :func:`repro.pipeline.run_integration`, the sharded
+executor (:mod:`repro.parallel`) and the ``repro-truth`` CLI (``--method``
+flag and ``methods`` subcommand) alike.
 
 Keys are normalised case-insensitively with ``-``/``_``/`` `` treated as
 equivalent, and each method may carry aliases, so ``"ltm"``, ``"LTM"``,
@@ -79,6 +80,25 @@ class MethodSpec:
     requires_quality:
         Whether construction needs a previously learned quality table
         (only LTMinc).
+    shard_strategy:
+        How entity-sharded execution (:mod:`repro.parallel`) merges the
+        method's per-shard fits, or ``None`` when the method cannot be
+        sharded by entity:
+
+        * ``"local"`` — per-fact scores depend only on the fact's own
+          claims (Voting, LTMinc): shard scores are globally exact and are
+          simply concatenated;
+        * ``"counts"`` — the method learns per-source quality from
+          confusion counts (LTM): per-shard expected counts are summed and
+          optional quality-sync rounds make cross-shard sources converge to
+          one quality estimate;
+        * ``"counts_positive"`` — like ``"counts"`` but the method only
+          ever sees positive claims (LTMpos), so count merging and
+          quality-sync re-scoring are restricted to them;
+        * ``"trust_sync"`` — the method iterates a global per-source trust
+          vector (TruthFinder): shards compute per-source partial sums each
+          round and the reducer synchronises the trust vector, reproducing
+          the serial fixed point.
     aliases:
         Additional accepted names (matched after normalisation).
     """
@@ -92,6 +112,7 @@ class MethodSpec:
     output_range: str = "probability"
     claim_based: bool = True
     requires_quality: bool = False
+    shard_strategy: str | None = None
     aliases: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -121,6 +142,7 @@ class MethodSpec:
             "output_range": self.output_range,
             "claim_based": self.claim_based,
             "requires_quality": self.requires_quality,
+            "shard_strategy": self.shard_strategy,
             "aliases": list(self.aliases),
         }
 
@@ -233,6 +255,7 @@ def _populate(registry: MethodRegistry) -> MethodRegistry:
         display_name="LTM",
         supports_incremental=True,
         supports_quality=True,
+        shard_strategy="counts",
         aliases=("latent_truth_model",),
     )
     registry.register_method(
@@ -243,6 +266,7 @@ def _populate(registry: MethodRegistry) -> MethodRegistry:
         supports_incremental=True,
         supports_quality=True,
         requires_quality=True,
+        shard_strategy="local",
         aliases=("ltminc", "incremental_ltm"),
     )
     registry.register_method(
@@ -252,17 +276,20 @@ def _populate(registry: MethodRegistry) -> MethodRegistry:
         display_name="LTMpos",
         supports_incremental=True,
         supports_quality=True,
+        shard_strategy="counts_positive",
         aliases=("ltmpos", "positive_only_ltm"),
     )
     registry.register_method(
         "voting",
         Voting,
         "Majority voting: fraction of a fact's claims that are positive",
+        shard_strategy="local",
     )
     registry.register_method(
         "truthfinder",
         TruthFinder,
         "TruthFinder (Yin et al. 2007): iterative trust / confidence propagation",
+        shard_strategy="trust_sync",
         aliases=("truth_finder",),
     )
     registry.register_method(
@@ -356,8 +383,7 @@ def method_suite(
 ) -> list[Any]:
     """Build the paper's standard comparison suite (every method except LTMinc).
 
-    This is the canonical home of the suite the historical
-    ``repro.baselines.default_method_suite`` built: fresh,
+    This is the canonical home of the comparison suite: fresh,
     consistently-configured instances of the nine directly-fittable methods
     of Table 7 / Figures 2-3, in the paper's presentation order (LTMinc
     needs a previously learned quality table and is constructed separately

@@ -14,7 +14,10 @@ triple enters through.
   :class:`~repro.engine.registry.MethodRegistry`;
 * :func:`~repro.io.catalog.as_source` — universal coercion used by
   :class:`~repro.engine.TruthEngine`, :func:`repro.discover`,
-  :class:`~repro.streaming.stream.ClaimStream` and the ``repro-truth`` CLI.
+  :class:`~repro.streaming.stream.ClaimStream` and the ``repro-truth`` CLI;
+* :func:`~repro.io.partition.entity_partition_key` — the stable, seeded
+  entity digest behind sharded execution (:mod:`repro.parallel`) and
+  reproducible entity shuffles.
 
 Quickstart::
 
@@ -27,6 +30,7 @@ Quickstart::
 """
 
 from repro.io.base import DataSource, SourceSchema
+from repro.io.partition import entity_partition_key
 from repro.io.sources import (
     DatasetSource,
     JsonDatasetSource,
@@ -56,5 +60,6 @@ __all__ = [
     "DatasetSpec",
     "as_source",
     "default_catalog",
+    "entity_partition_key",
     "register_dataset",
 ]

@@ -104,6 +104,18 @@ class DataSource(abc.ABC):
     ) -> Iterator[ClaimBatch]:
         """Yield the source's triples as :class:`ClaimBatch` chunks.
 
+        Ordering guarantee
+        ------------------
+        Batch order is **stable across interpreter runs, Python versions and
+        hash seeds**.  Without ``shuffle``, entity-grouped batches list
+        entities in first-seen triple order (plain batches keep triple
+        order).  With ``shuffle`` and a ``seed``, the entity order is derived
+        from the seeded BLAKE2b digest of
+        :func:`~repro.io.partition.entity_partition_key` — never from
+        Python's process-randomised ``hash()`` — so the same seed reproduces
+        the same arrival order everywhere.  This is what makes sharded runs
+        (:mod:`repro.parallel`) and replayed streams deterministic.
+
         Parameters
         ----------
         batch_size:
@@ -117,7 +129,8 @@ class DataSource(abc.ABC):
             Randomise arrival order (of entities when ``by_entity``, of
             triples otherwise).
         seed:
-            Seed of the shuffle.
+            Seed of the shuffle.  ``None`` draws a fresh random order per
+            call; any integer pins the order as documented above.
         """
         if batch_size <= 0:
             raise StreamError("batch_size must be positive")
@@ -146,15 +159,31 @@ class DataSource(abc.ABC):
     def _entity_batches(
         self, batch_entities: int, shuffle: bool, seed: int | None
     ) -> Iterator[ClaimBatch]:
-        """Entity-grouped batching (the historical ``ClaimStream`` grouping)."""
+        """Entity-grouped batching (the historical ``ClaimStream`` grouping).
+
+        Entities appear in first-seen order; a *seeded* shuffle reorders
+        them by their seeded :func:`~repro.io.partition.entity_partition_key`
+        digest (ties broken by first-seen position), which is stable across
+        Python versions and hash seeds.  An unseeded shuffle draws a fresh
+        random order each call.
+        """
         by_entity: dict[EntityKey, list[Triple]] = {}
         for triple in self.iter_triples():
             by_entity.setdefault(triple.entity, []).append(triple)
         entities = list(by_entity)
         if shuffle:
-            rng = np.random.default_rng(seed)
-            order = rng.permutation(len(entities))
-            entities = [entities[i] for i in order]
+            if seed is not None:
+                from repro.io.partition import entity_partition_key
+
+                decorated = sorted(
+                    enumerate(entities),
+                    key=lambda item: (entity_partition_key(item[1], seed=seed), item[0]),
+                )
+                entities = [entity for _, entity in decorated]
+            else:
+                rng = np.random.default_rng()
+                order = rng.permutation(len(entities))
+                entities = [entities[i] for i in order]
         batch_index = 0
         for start in range(0, len(entities), batch_entities):
             chunk = entities[start : start + batch_entities]

@@ -1,0 +1,593 @@
+"""Score-parity reduction of per-shard fits into one global result.
+
+Entity sharding (:mod:`repro.parallel.plan`) produces shard claim matrices
+that are exact entity-subsets of the single-shard matrix, so how shard fits
+recombine depends only on how the method couples facts *across* entities.
+Each registered method declares its coupling as
+:attr:`~repro.engine.registry.MethodSpec.shard_strategy`, and this module
+implements the matching reducers:
+
+``"local"`` (Voting, LTMinc)
+    Per-fact scores depend only on the fact's own claims, which all live in
+    one shard.  Concatenating shard scores is **exactly** the single-shard
+    result.
+
+``"counts"`` (LTM) / ``"counts_positive"`` (LTMpos)
+    The coupling is the per-source confusion counts ``E[n[s, i, j]]``, which
+    are *additive over entity shards*.  The reducer sums every shard's count
+    contribution, computes one global MAP quality table
+    (:func:`~repro.core.quality.quality_from_counts`) and optionally runs
+    **quality-sync rounds**: re-score every shard's facts with the
+    closed-form posterior (Equation 3) under the global quality, recompute
+    the counts, and repeat — so sources spanning shards converge to a single
+    quality estimate.  ``counts_positive`` restricts all of it to positive
+    claims, preserving LTMpos's positive-only observation model.  Scores are
+    statistically equivalent to the single-shard Gibbs fit (pinned by an AUC
+    tolerance on the LTM generative benchmark), not bitwise identical:
+    collapsed Gibbs is a sampler.
+
+``"trust_sync"`` (TruthFinder)
+    The coupling is the global per-source trust vector.  The reducer runs
+    TruthFinder's alternating updates *cooperatively*: each round, every
+    shard computes its facts' confidences and per-source partial sums under
+    the current global trust, and the reduction re-estimates the trust
+    vector — the same fixed point as the serial fit, to floating-point
+    reduction order.
+
+:func:`merge_artifacts` applies the same count-summing logic to per-shard
+:class:`~repro.serving.TruthArtifact` directories, producing one merged
+artifact loadable by :class:`~repro.serving.TruthService` unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.base import SourceQualityTable
+from repro.core.incremental import posterior_truth_probability_arrays
+from repro.core.priors import LTMPriors
+from repro.core.quality import expected_confusion_counts_arrays, quality_from_counts
+from repro.exceptions import ArtifactError, ConfigurationError
+
+__all__ = [
+    "ShardFit",
+    "MergedFit",
+    "merge_shard_fits",
+    "merge_artifacts",
+    "shard_artifact",
+]
+
+
+@dataclass
+class ShardFit:
+    """Everything one shard fit hands back to the reducer.
+
+    Built by :func:`repro.parallel.executor.fit_shard`; every field is a
+    plain container or numpy array so the payload crosses process
+    boundaries without pickling solver or matrix objects.
+
+    Attributes
+    ----------
+    index, num_shards:
+        The shard's slot and the plan width it came from.
+    fact_entities, fact_attributes:
+        Parallel per-fact identity arrays (position = shard-local fact id).
+    scores:
+        Per-fact scores of the shard-local fit (``None`` for strategies
+        whose scoring happens in the reducer, e.g. ``trust_sync``).
+    source_names:
+        Shard-local source table (dense id = position).
+    claim_fact, claim_source, claim_obs:
+        The shard's claim arrays (shard-local fact and source ids), kept so
+        the reducer can re-score facts under globally merged state.
+    expected_counts:
+        The shard's expected confusion counts ``(S_shard, 2, 2)`` for
+        count-mergeable methods, else ``None``.
+    quality:
+        The shard-local quality table, when the method learned one.
+    runtime_seconds:
+        Wall-clock time of the shard fit.
+    """
+
+    index: int
+    num_shards: int
+    fact_entities: list
+    fact_attributes: list
+    scores: np.ndarray | None
+    source_names: list[str]
+    claim_fact: np.ndarray
+    claim_source: np.ndarray
+    claim_obs: np.ndarray
+    expected_counts: np.ndarray | None = None
+    quality: SourceQualityTable | None = None
+    runtime_seconds: float = 0.0
+
+    @property
+    def num_facts(self) -> int:
+        """Number of facts in the shard."""
+        return len(self.fact_entities)
+
+
+@dataclass
+class MergedFit:
+    """The reducer's output: one global fit assembled from shard fits.
+
+    ``fact_entities`` / ``fact_attributes`` / ``scores`` are parallel arrays
+    in shard-concatenation order (shard 0's facts first); callers needing a
+    specific fact order — e.g. :class:`~repro.engine.TruthEngine`, which
+    realigns onto its full claim matrix — index by ``(entity, attribute)``.
+    """
+
+    fact_entities: list
+    fact_attributes: list
+    scores: np.ndarray
+    quality: SourceQualityTable | None
+    strategy: str
+    num_shards: int
+    shards: list[ShardFit] = field(default_factory=list)
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def num_facts(self) -> int:
+        """Total number of facts across shards."""
+        return int(self.scores.shape[0])
+
+    def fact_scores(self) -> dict[tuple[str, str], float]:
+        """Mapping of ``(entity, attribute)`` to merged score."""
+        return {
+            (str(e), str(a)): float(s)
+            for e, a, s in zip(self.fact_entities, self.fact_attributes, self.scores)
+        }
+
+    def shard_summaries(self) -> list[dict[str, Any]]:
+        """Small JSON-safe per-shard statistics (for result extras / logs)."""
+        return [
+            {
+                "index": fit.index,
+                "facts": fit.num_facts,
+                "claims": int(fit.claim_fact.shape[0]),
+                "sources": len(fit.source_names),
+                "runtime_seconds": float(fit.runtime_seconds),
+            }
+            for fit in self.shards
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Global source table
+# ---------------------------------------------------------------------------
+def _global_sources(shard_fits: Sequence[ShardFit]) -> tuple[list[str], list[np.ndarray]]:
+    """Union source table (first-seen in shard order) and per-shard id maps."""
+    index: dict[str, int] = {}
+    for fit in shard_fits:
+        for name in fit.source_names:
+            index.setdefault(name, len(index))
+    maps = [
+        np.array([index[name] for name in fit.source_names], dtype=np.int64)
+        for fit in shard_fits
+    ]
+    return list(index), maps
+
+
+def _first_wins_union(
+    names: list[str],
+    tables: Sequence[tuple[SourceQualityTable, np.ndarray]],
+) -> SourceQualityTable | None:
+    """First-wins union of quality tables onto the ``names`` source axis.
+
+    ``tables`` pairs each quality table with the array mapping its local row
+    ids to positions in ``names``.  Used where every table's values for a
+    shared source agree by construction (LTMinc aligns one stored table; the
+    first table to mention a source fixes its row).
+    """
+    if not tables:
+        return None
+    n = len(names)
+    sensitivity = np.full(n, np.nan)
+    specificity = np.full(n, np.nan)
+    precision = np.full(n, np.nan)
+    accuracy = np.full(n, np.nan)
+    filled = np.zeros(n, dtype=bool)
+    for table, row_map in tables:
+        for local, global_id in enumerate(row_map):
+            if filled[global_id]:
+                continue
+            filled[global_id] = True
+            sensitivity[global_id] = table.sensitivity[local]
+            specificity[global_id] = table.specificity[local]
+            precision[global_id] = table.precision[local]
+            accuracy[global_id] = table.accuracy[local]
+    return SourceQualityTable(
+        source_names=tuple(names),
+        sensitivity=sensitivity,
+        specificity=specificity,
+        precision=precision,
+        accuracy=accuracy,
+    )
+
+
+def _union_quality(
+    names: list[str], shard_fits: Sequence[ShardFit], maps: list[np.ndarray]
+) -> SourceQualityTable | None:
+    """First-wins union of the shard fits' quality tables (``local`` merge)."""
+    return _first_wins_union(
+        names,
+        [
+            (fit.quality, src_map)
+            for fit, src_map in zip(shard_fits, maps)
+            if fit.quality is not None
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strategy reducers
+# ---------------------------------------------------------------------------
+def _merge_local(
+    shard_fits: Sequence[ShardFit], names: list[str], maps: list[np.ndarray]
+) -> tuple[np.ndarray, SourceQualityTable | None, dict[str, Any]]:
+    scores = np.concatenate([fit.scores for fit in shard_fits])
+    return scores, _union_quality(names, shard_fits, maps), {}
+
+
+def _shard_claim_arrays(
+    fit: ShardFit, positive_only: bool
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The shard's ``(claim_fact, claim_source, claim_obs)``, optionally
+    restricted to positive claims (the LTMpos observation domain)."""
+    if not positive_only:
+        return fit.claim_fact, fit.claim_source, fit.claim_obs
+    mask = fit.claim_obs == 1
+    return fit.claim_fact[mask], fit.claim_source[mask], fit.claim_obs[mask]
+
+
+def _merge_counts(
+    shard_fits: Sequence[ShardFit],
+    names: list[str],
+    maps: list[np.ndarray],
+    priors: LTMPriors,
+    quality_sync_rounds: int,
+    positive_only: bool = False,
+) -> tuple[np.ndarray, SourceQualityTable | None, dict[str, Any]]:
+    """The ``counts`` / ``counts_positive`` reducer.
+
+    ``positive_only`` restricts count accumulation and quality-sync
+    re-scoring to positive claims — LTMpos never observes negative claims,
+    so feeding them into the sync posterior would silently change the
+    method's semantics.
+    """
+    num_sources = len(names)
+    total = np.zeros((num_sources, 2, 2), dtype=float)
+    for fit, src_map in zip(shard_fits, maps):
+        counts = fit.expected_counts
+        if counts is None:
+            claim_fact, claim_source, claim_obs = _shard_claim_arrays(fit, positive_only)
+            total += expected_confusion_counts_arrays(
+                claim_fact,
+                src_map[claim_source],
+                claim_obs,
+                num_sources,
+                fit.scores,
+            )
+        else:
+            np.add.at(total, src_map, np.asarray(counts, dtype=float))
+    quality = quality_from_counts(names, total, priors)
+
+    shard_scores = [np.asarray(fit.scores, dtype=float) for fit in shard_fits]
+    truth_prior = (priors.truth.positive, priors.truth.negative)
+    for _ in range(quality_sync_rounds):
+        total = np.zeros((num_sources, 2, 2), dtype=float)
+        for k, (fit, src_map) in enumerate(zip(shard_fits, maps)):
+            claim_fact, claim_source, claim_obs = _shard_claim_arrays(fit, positive_only)
+            global_src = src_map[claim_source]
+            synced = posterior_truth_probability_arrays(
+                claim_fact,
+                global_src,
+                claim_obs,
+                fit.num_facts,
+                quality.sensitivity,
+                quality.specificity,
+                truth_prior=truth_prior,
+            )
+            shard_scores[k] = synced
+            total += expected_confusion_counts_arrays(
+                claim_fact, global_src, claim_obs, num_sources, synced
+            )
+        quality = quality_from_counts(names, total, priors)
+
+    scores = np.concatenate(shard_scores)
+    return scores, quality, {"quality_sync_rounds": quality_sync_rounds}
+
+
+def _merge_trust_sync(
+    shard_fits: Sequence[ShardFit],
+    names: list[str],
+    maps: list[np.ndarray],
+    params: dict[str, Any],
+) -> tuple[np.ndarray, SourceQualityTable | None, dict[str, Any]]:
+    """Synchronised TruthFinder: shards score locally, trust reduces globally.
+
+    Reproduces the serial fixed point: a fact's confidence only reads its own
+    (shard-local) positive claims, and a source's trust update is a sum over
+    its facts' confidences — a sum that distributes over shards.  The only
+    cross-shard traffic per round is one trust vector down and one partial
+    sum up.
+    """
+    from repro.baselines.truthfinder import TruthFinder
+
+    solver = TruthFinder(**params)
+    num_sources = len(names)
+
+    edges = []  # (edge_fact_local, edge_source_global, fact_degree, num_facts)
+    source_degree = np.zeros(num_sources, dtype=float)
+    for fit, src_map in zip(shard_fits, maps):
+        mask = fit.claim_obs == 1
+        edge_fact = fit.claim_fact[mask]
+        edge_source = src_map[fit.claim_source[mask]]
+        fact_degree = np.bincount(edge_fact, minlength=fit.num_facts).astype(float)
+        source_degree += np.bincount(edge_source, minlength=num_sources).astype(float)
+        edges.append((edge_fact, edge_source, fact_degree, fit.num_facts))
+
+    trust = np.full(num_sources, solver.initial_trust, dtype=float)
+    confidences = [np.zeros(num_facts) for *_, num_facts in edges]
+    safe_degree = np.where(source_degree > 0, source_degree, 1.0)
+    iterations_run = 0
+    for iteration in range(solver.max_iterations):
+        iterations_run = iteration + 1
+        tau = -np.log(np.clip(1.0 - trust, 1e-12, None))
+        sums = np.zeros(num_sources, dtype=float)
+        for k, (edge_fact, edge_source, fact_degree, num_facts) in enumerate(edges):
+            sigma = np.zeros(num_facts, dtype=float)
+            np.add.at(sigma, edge_fact, tau[edge_source])
+            confidence = 1.0 / (1.0 + np.exp(-solver.gamma * sigma))
+            confidence = np.where(fact_degree > 0, confidence, 0.0)
+            confidences[k] = confidence
+            np.add.at(sums, edge_source, confidence[edge_fact])
+        new_trust = np.clip(sums / safe_degree, 1e-6, 1.0 - 1e-6)
+        if solver._converged(trust, new_trust):
+            trust = new_trust
+            break
+        trust = new_trust
+
+    scores = np.clip(np.concatenate(confidences), 0.0, 1.0)
+    extras = {
+        "trustworthiness": trust,
+        "trust_source_names": list(names),
+        "iterations": iterations_run,
+    }
+    return scores, None, extras
+
+
+def merge_shard_fits(
+    shard_fits: Sequence[ShardFit],
+    strategy: str,
+    *,
+    params: dict[str, Any] | None = None,
+    quality_sync_rounds: int = 0,
+    num_shards: int | None = None,
+) -> MergedFit:
+    """Reduce ``shard_fits`` into one :class:`MergedFit` under ``strategy``.
+
+    Parameters
+    ----------
+    shard_fits:
+        Per-shard fit payloads (any order; reduced in shard-index order so
+        the result is independent of completion order).
+    strategy:
+        The method's :attr:`~repro.engine.registry.MethodSpec.shard_strategy`
+        (``"local"``, ``"counts"`` or ``"trust_sync"``).
+    params:
+        The solver's (decoded) hyperparameters — supplies the priors of the
+        count merge and TruthFinder's trust-iteration settings.
+    quality_sync_rounds:
+        Quality-synchronisation rounds for the ``counts`` strategy (see
+        module docstring); ignored by the other strategies.
+    num_shards:
+        Planned shard count (defaults to what the fits report).
+    """
+    if not shard_fits:
+        raise ConfigurationError("cannot merge zero shard fits (empty corpus?)")
+    fits = sorted(shard_fits, key=lambda fit: fit.index)
+    params = dict(params or {})
+    names, maps = _global_sources(fits)
+
+    if strategy == "local":
+        scores, quality, extras = _merge_local(fits, names, maps)
+    elif strategy in ("counts", "counts_positive"):
+        priors = params.get("priors") or LTMPriors()
+        scores, quality, extras = _merge_counts(
+            fits,
+            names,
+            maps,
+            priors,
+            quality_sync_rounds,
+            positive_only=strategy == "counts_positive",
+        )
+    elif strategy == "trust_sync":
+        sync_params = {k: v for k, v in params.items() if k != "seed"}
+        scores, quality, extras = _merge_trust_sync(fits, names, maps, sync_params)
+    else:
+        raise ConfigurationError(
+            f"unknown shard merge strategy {strategy!r}; expected 'local', "
+            f"'counts', 'counts_positive' or 'trust_sync'"
+        )
+
+    # Write each shard's slice of the merged scores back onto its fit, so
+    # per-shard artifacts always carry the *final* merged contribution (the
+    # synced scores after quality-sync rounds; the reducer-computed
+    # confidences for trust-sync shards).
+    offset = 0
+    for fit in fits:
+        fit.scores = scores[offset : offset + fit.num_facts].copy()
+        offset += fit.num_facts
+    if strategy in ("counts", "counts_positive"):
+        # Refresh the per-shard counts under the final scores (shard-local
+        # source axis), so summing shard-artifact counts reproduces exactly
+        # the merged quality table.
+        for fit in fits:
+            claim_fact, claim_source, claim_obs = _shard_claim_arrays(
+                fit, strategy == "counts_positive"
+            )
+            fit.expected_counts = expected_confusion_counts_arrays(
+                claim_fact,
+                claim_source,
+                claim_obs,
+                len(fit.source_names),
+                fit.scores,
+            )
+
+    fact_entities: list = []
+    fact_attributes: list = []
+    for fit in fits:
+        fact_entities.extend(fit.fact_entities)
+        fact_attributes.extend(fit.fact_attributes)
+    return MergedFit(
+        fact_entities=fact_entities,
+        fact_attributes=fact_attributes,
+        scores=scores,
+        quality=quality,
+        strategy=strategy,
+        num_shards=num_shards if num_shards is not None else max(f.num_shards for f in fits),
+        shards=list(fits),
+        extras=extras,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Artifact-level merging (the serving seam)
+# ---------------------------------------------------------------------------
+def shard_artifact(
+    fit: ShardFit, config, *, name: str | None = None
+) -> "Any":
+    """Snapshot one shard fit as a :class:`~repro.serving.TruthArtifact`.
+
+    The artifact carries the shard's expected confusion counts in its
+    ``extras["shard"]`` block, which is what lets :func:`merge_artifacts`
+    recombine shard artifacts into a single count-consistent artifact.
+    """
+    from repro.serving.artifact import TruthArtifact
+
+    if fit.scores is None:
+        raise ConfigurationError(
+            "shard fit carries no scores (trust-sync shards are scored by the "
+            "reducer); merge first, then export"
+        )
+    shard_info: dict[str, Any] = {"index": fit.index, "num_shards": fit.num_shards}
+    if fit.expected_counts is not None:
+        shard_info["expected_counts"] = np.asarray(fit.expected_counts, dtype=float)
+    return TruthArtifact(
+        config=config,
+        fact_entity=np.array([str(e) for e in fit.fact_entities], dtype=str),
+        fact_attribute=np.array([str(a) for a in fit.fact_attributes], dtype=str),
+        fact_score=np.asarray(fit.scores, dtype=float),
+        quality=fit.quality,
+        name=name if name is not None else f"{config.method}-shard-{fit.index:02d}",
+        extras={"shard": shard_info},
+    )
+
+
+def merge_artifacts(
+    artifacts: Sequence[Any],
+    *,
+    name: str | None = None,
+    priors: LTMPriors | None = None,
+) -> "Any":
+    """Combine per-shard artifacts into one servable artifact.
+
+    Facts are concatenated (shards must be disjoint — overlapping
+    ``(entity, attribute)`` pairs raise :class:`~repro.exceptions.ArtifactError`).
+    Source quality merges by summing the shards' recorded expected confusion
+    counts (``extras["shard"]["expected_counts"]``, written by
+    :func:`shard_artifact`) into one MAP table; artifacts without counts fall
+    back to a first-wins union of their quality rows.  The merged artifact
+    loads into :class:`~repro.serving.TruthService` unchanged.
+
+    Parameters
+    ----------
+    artifacts:
+        :class:`~repro.serving.TruthArtifact` objects or artifact directory
+        paths, in shard order.
+    name:
+        Name of the merged artifact (default: ``<method>-merged``).
+    priors:
+        Priors of the count merge (default: the priors recorded in the
+        first artifact's config params, else library defaults).
+    """
+    from repro.serving.artifact import TruthArtifact
+
+    if not artifacts:
+        raise ArtifactError("cannot merge zero artifacts")
+    loaded = [
+        a if isinstance(a, TruthArtifact) else TruthArtifact.load(a) for a in artifacts
+    ]
+
+    seen: set[tuple[str, str]] = set()
+    for artifact in loaded:
+        for pair in zip(artifact.fact_entity.tolist(), artifact.fact_attribute.tolist()):
+            key = (str(pair[0]), str(pair[1]))
+            if key in seen:
+                raise ArtifactError(
+                    f"artifacts overlap on fact {key!r}; shard artifacts must "
+                    f"cover disjoint entity sets"
+                )
+            seen.add(key)
+
+    fact_entity = np.concatenate([a.fact_entity for a in loaded])
+    fact_attribute = np.concatenate([a.fact_attribute for a in loaded])
+    fact_score = np.concatenate([a.fact_score for a in loaded])
+
+    # Quality: sum recorded shard counts when every quality-carrying shard
+    # has them, else first-wins union of the quality rows.
+    with_quality = [a for a in loaded if a.quality is not None]
+    quality: SourceQualityTable | None = None
+    if with_quality:
+        index: dict[str, int] = {}
+        for artifact in with_quality:
+            for source in artifact.quality.source_names:
+                index.setdefault(source, len(index))
+        names = list(index)
+        counts = [
+            a.extras.get("shard", {}).get("expected_counts") for a in with_quality
+        ]
+        if all(c is not None for c in counts):
+            total = np.zeros((len(names), 2, 2), dtype=float)
+            for artifact, shard_counts in zip(with_quality, counts):
+                rows = np.array(
+                    [index[s] for s in artifact.quality.source_names], dtype=np.int64
+                )
+                np.add.at(total, rows, np.asarray(shard_counts, dtype=float))
+            if priors is None:
+                recorded = loaded[0].config.params.get("priors")
+                priors = recorded if isinstance(recorded, LTMPriors) else LTMPriors()
+            quality = quality_from_counts(names, total, priors)
+        else:
+            quality = _first_wins_union(
+                names,
+                [
+                    (
+                        artifact.quality,
+                        np.array(
+                            [index[s] for s in artifact.quality.source_names],
+                            dtype=np.int64,
+                        ),
+                    )
+                    for artifact in with_quality
+                ],
+            )
+
+    first = loaded[0]
+    return TruthArtifact(
+        config=first.config,
+        fact_entity=fact_entity,
+        fact_attribute=fact_attribute,
+        fact_score=fact_score,
+        quality=quality,
+        name=name if name is not None else f"{first.config.method}-merged",
+        extras={
+            "merged_from": [a.name for a in loaded],
+            "num_shard_artifacts": len(loaded),
+        },
+    )

@@ -4,14 +4,16 @@ This package ties the substrate together into the workflow the paper's
 introduction motivates: ingest raw ``(entity, attribute, source)`` assertions
 from several sources, derive facts and claims, infer which facts are true
 (and how reliable each source is), and emit merged records plus a
-source-quality report.
+source-quality report.  :func:`~repro.pipeline.integrate.run_integration`
+is the canonical entry point (:func:`repro.discover` wraps it); pass an
+:class:`~repro.engine.ExecutionConfig` to run it entity-sharded through
+:mod:`repro.parallel`.
 """
 
-from repro.pipeline.integrate import IntegrationPipeline, IntegrationResult, run_integration
+from repro.pipeline.integrate import IntegrationResult, run_integration
 from repro.pipeline.report import format_quality_report, format_merged_records
 
 __all__ = [
-    "IntegrationPipeline",
     "IntegrationResult",
     "run_integration",
     "format_quality_report",

@@ -7,13 +7,15 @@ unified :class:`~repro.engine.TruthEngine` for fitting and thresholding, and
 optionally materialises the intermediate relational tables as a debug
 workspace.  :func:`repro.discover` wraps it in one line.
 
-:class:`IntegrationPipeline` is the historical class-shaped entry point,
-kept as a deprecated thin adapter over :func:`run_integration`.
+With an :class:`~repro.engine.ExecutionConfig` of ``num_shards > 1`` the fit
+runs entity-sharded through :mod:`repro.parallel` (the historical
+``IntegrationPipeline`` class shim was removed in 1.4 after its two-PR
+deprecation window; use :func:`run_integration` or
+:class:`~repro.engine.TruthEngine`).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
@@ -23,14 +25,14 @@ from repro.core.model import LatentTruthModel
 from repro.data.claim_builder import ClaimTableBuilder, build_claim_matrix
 from repro.data.dataset import ClaimMatrix
 from repro.data.raw import RawDatabase
-from repro.engine.config import EngineConfig
+from repro.engine.config import EngineConfig, ExecutionConfig
 from repro.engine.facade import TruthEngine
 from repro.engine.registry import default_registry
 from repro.exceptions import ConfigurationError
 from repro.store import Column, Database, Schema
 from repro.types import Triple
 
-__all__ = ["IntegrationResult", "IntegrationPipeline", "run_integration"]
+__all__ = ["IntegrationResult", "run_integration"]
 
 
 @dataclass
@@ -83,6 +85,7 @@ def run_integration(
     method: TruthMethod | str | None = None,
     threshold: float = 0.5,
     keep_workspace: bool = False,
+    execution: ExecutionConfig | None = None,
     **method_params: Any,
 ) -> IntegrationResult:
     """Run the full integration flow and return an :class:`IntegrationResult`.
@@ -106,12 +109,28 @@ def run_integration(
     keep_workspace:
         Whether to materialise the intermediate relational tables in the
         result's ``workspace`` database (useful for debugging, costs memory).
+    execution:
+        Optional :class:`~repro.engine.ExecutionConfig`; with
+        ``num_shards > 1`` the fit runs entity-sharded through
+        :mod:`repro.parallel` (requires a string ``method`` key — shard
+        workers resolve the solver through the registry).
     **method_params:
         Hyperparameters for registry construction when ``method`` is a
         string (e.g. ``iterations``, ``seed``).
     """
     if not 0.0 <= threshold <= 1.0:
         raise ConfigurationError("threshold must lie in [0, 1]")
+
+    if execution is not None and execution.sharded:
+        return _run_sharded_integration(
+            data,
+            method=method,
+            threshold=threshold,
+            keep_workspace=keep_workspace,
+            execution=execution,
+            method_params=method_params,
+        )
+
     if isinstance(method, str):
         method = default_registry().create(method, **method_params)
     elif method_params:
@@ -156,66 +175,62 @@ def run_integration(
     )
 
 
-class IntegrationPipeline:
-    """Deprecated class-shaped wrapper over :func:`run_integration`.
+def _run_sharded_integration(
+    data: Any,
+    *,
+    method: TruthMethod | str | None,
+    threshold: float,
+    keep_workspace: bool,
+    execution: ExecutionConfig,
+    method_params: dict[str, Any],
+) -> IntegrationResult:
+    """The entity-sharded variant of :func:`run_integration`.
 
-    Parameters
-    ----------
-    method:
-        The truth-finding method to use: a
-        :class:`~repro.core.base.TruthMethod` instance, a registry key such
-        as ``"voting"`` (resolved through
-        :func:`repro.engine.default_registry` and built with
-        ``method_params``), or ``None`` for
-        :class:`~repro.core.model.LatentTruthModel` with library defaults.
-    threshold:
-        Truth-probability threshold above which a fact is accepted into the
-        merged records.
-    keep_workspace:
-        Whether to materialise the intermediate relational tables in the
-        result's ``workspace`` database (useful for debugging, costs memory).
-    **method_params:
-        Hyperparameters for registry construction when ``method`` is a
-        string (e.g. ``iterations``, ``seed``).
-
-    .. deprecated:: 1.2
-        Use :func:`repro.discover`, :func:`run_integration` or
-        :class:`~repro.engine.TruthEngine` instead.
+    The engine plans, executes and merges the shards
+    (:meth:`~repro.engine.TruthEngine.fit` routes through
+    :mod:`repro.parallel` when ``execution.num_shards > 1``); this wrapper
+    only handles input coercion and the optional debug workspace.
     """
-
-    def __init__(
-        self,
-        method: TruthMethod | str | None = None,
-        threshold: float = 0.5,
-        keep_workspace: bool = False,
-        **method_params: Any,
-    ):
-        warnings.warn(
-            "IntegrationPipeline is deprecated; use repro.discover(...), "
-            "repro.pipeline.run_integration(...) or repro.engine.TruthEngine instead",
-            DeprecationWarning,
-            stacklevel=2,
+    if method is None:
+        method = "ltm"
+    if not isinstance(method, str):
+        raise ConfigurationError(
+            "sharded execution resolves the solver through the registry on "
+            "every shard; pass a registry method key, not a solver instance"
         )
-        if not 0.0 <= threshold <= 1.0:
-            raise ConfigurationError("threshold must lie in [0, 1]")
-        if isinstance(method, str):
-            method = default_registry().create(method, **method_params)
-        elif method_params:
-            raise ConfigurationError(
-                "method hyperparameters are only accepted with a string method name"
-            )
-        self.method = method if method is not None else LatentTruthModel()
-        self.threshold = threshold
-        self.keep_workspace = keep_workspace
-
-    def run(self, triples: Iterable[Triple | tuple] | RawDatabase) -> IntegrationResult:
-        """Integrate ``triples`` and return the merged records and quality report."""
-        return run_integration(
-            triples,
-            method=self.method,
-            threshold=self.threshold,
-            keep_workspace=self.keep_workspace,
+    engine = TruthEngine(
+        EngineConfig(
+            method=method,
+            params=dict(method_params),
+            threshold=threshold,
+            execution=execution,
         )
+    )
+    if isinstance(data, RawDatabase):
+        raw: RawDatabase | None = data
+    else:
+        from repro.io.catalog import as_source  # lazy: repro.io builds on the engine
+
+        source = as_source(data)
+        raw = source.to_raw(strict=False) if keep_workspace else None
+        data = raw if raw is not None else source
+    engine.fit(data)
+    truth_result = engine.result()
+    claims = engine.claims()
+    workspace = (
+        _build_workspace(raw, ClaimTableBuilder(raw), claims, truth_result, threshold)
+        if keep_workspace and raw is not None
+        else None
+    )
+    return IntegrationResult(
+        merged_records=engine.merged_records(),
+        rejected_records=engine.rejected_records(),
+        fact_scores=engine.fact_scores,
+        source_quality=truth_result.source_quality,
+        truth_result=truth_result,
+        claims=claims,
+        workspace=workspace,
+    )
 
 
 def _build_workspace(

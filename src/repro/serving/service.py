@@ -23,6 +23,13 @@ Build one with :func:`serve`, which accepts an artifact path, a fitted
 :class:`~repro.engine.TruthEngine`, a :class:`TruthArtifact`, or anything
 :func:`repro.io.as_source` accepts (catalog key, triple file, iterable), in
 which case it trains first.
+
+Sharded training plugs in unchanged: an engine fitted with
+``ExecutionConfig(num_shards=N)`` (see :mod:`repro.parallel`) exports one
+merged artifact with identical query semantics, and per-shard artifacts
+(:meth:`~repro.engine.TruthEngine.shard_artifacts`) recombine with
+:func:`repro.parallel.merge_artifacts` into an artifact this service loads
+like any other.
 """
 
 from __future__ import annotations

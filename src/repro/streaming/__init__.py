@@ -8,12 +8,16 @@ batch re-fit to refresh the quality estimates.
 
 * :class:`~repro.streaming.stream.ClaimStream` slices a raw database or
   triple list into arrival-ordered batches.
-* :class:`~repro.streaming.online.OnlineTruthFinder` consumes those batches,
+* :meth:`repro.engine.TruthEngine.partial_fit` consumes those batches,
   maintains the evolving source-quality estimate, scores each batch as it
-  arrives and periodically retrains.
+  arrives and periodically retrains (sharded through :mod:`repro.parallel`
+  when the engine's :class:`~repro.engine.ExecutionConfig` asks for it).
+
+The historical ``OnlineTruthFinder`` adapter was removed in 1.4 after its
+two-PR deprecation window; drive ``TruthEngine.partial_fit`` directly, e.g.
+over :meth:`repro.io.DataSource.iter_batches`.
 """
 
 from repro.streaming.stream import ClaimBatch, ClaimStream
-from repro.streaming.online import OnlineTruthFinder, OnlineStepReport
 
-__all__ = ["ClaimBatch", "ClaimStream", "OnlineTruthFinder", "OnlineStepReport"]
+__all__ = ["ClaimBatch", "ClaimStream"]

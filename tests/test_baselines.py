@@ -11,17 +11,12 @@ from repro.baselines import (
     ThreeEstimates,
     TruthFinder,
     Voting,
-    all_methods,
-    default_method_suite,
-    get_method,
 )
 from repro.baselines._graph import PositiveClaimGraph
 from repro.data.claim_builder import build_claim_matrix
+from repro.engine.registry import default_registry, method_suite
 from repro.evaluation.metrics import evaluate_scores
 from repro.exceptions import ConfigurationError
-
-# Legacy entry points are exercised on purpose: they must keep delegating.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture(scope="module")
@@ -207,24 +202,22 @@ class TestThreeEstimates:
 
 
 class TestRegistry:
-    def test_all_methods_lists_nine(self):
-        assert len(all_methods()) == 9
-
-    def test_get_method(self):
-        assert isinstance(get_method("Voting"), Voting)
-        assert isinstance(get_method("3-Estimates"), ThreeEstimates)
+    def test_registry_resolves_display_names(self):
+        registry = default_registry()
+        assert isinstance(registry.create("Voting"), Voting)
+        assert isinstance(registry.create("3-Estimates"), ThreeEstimates)
         with pytest.raises(ConfigurationError):
-            get_method("NoSuchMethod")
+            registry.create("NoSuchMethod")
 
-    def test_default_suite_composition(self):
-        suite = default_method_suite(iterations=10, seed=0)
+    def test_method_suite_composition(self):
+        suite = method_suite(iterations=10, seed=0)
         names = [m.name for m in suite]
         assert names[0] == "LTM"
         assert "LTMpos" in names and "3-Estimates" in names
         assert len(suite) == 9
 
-    def test_default_suite_exclusion(self):
-        suite = default_method_suite(include={"LTM": False, "LTMpos": False})
+    def test_method_suite_exclusion(self):
+        suite = method_suite(include={"LTM": False, "LTMpos": False})
         names = [m.name for m in suite]
         assert "LTM" not in names and "LTMpos" not in names
         assert len(suite) == 7

@@ -1,17 +1,21 @@
-"""The PR-1 deprecation shims warn and still delegate correctly."""
+"""The PR-1 deprecation shims are gone; canonical entry points are warning-free.
 
+The two-PR deprecation window promised in CHANGES.md (PR 1, reiterated in
+PR 2) has elapsed: ``IntegrationPipeline``, ``OnlineTruthFinder`` and the
+``repro.baselines.registry`` module (``all_methods`` / ``get_method`` /
+``default_method_suite``) were removed in 1.4.  These tests pin the removal —
+imports fail cleanly with ``ImportError`` — and verify that the canonical
+replacements neither warn nor regress.
+"""
+
+import importlib
 import warnings
 
-import numpy as np
 import pytest
 
-from repro.baselines.registry import all_methods, default_method_suite, get_method
-from repro.baselines.voting import Voting
-from repro.core.model import LatentTruthModel
-from repro.engine.registry import default_registry, method_suite
-from repro.pipeline.integrate import IntegrationPipeline, run_integration
-from repro.streaming.online import OnlineTruthFinder
-from repro.streaming.stream import ClaimStream
+import repro
+from repro.engine import TruthEngine, default_registry, method_suite
+from repro.pipeline import run_integration
 
 
 TRIPLES = [
@@ -23,88 +27,65 @@ TRIPLES = [
 ]
 
 
-class TestBaselinesRegistryShims:
-    def test_all_methods_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="all_methods is deprecated"):
-            names = all_methods()
-        assert len(names) == 9
-        registry = default_registry()
-        assert all(name in registry for name in names)
+class TestShimsAreRemoved:
+    def test_baselines_registry_module_is_gone(self):
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.baselines.registry")
 
-    def test_get_method_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="get_method is deprecated"):
-            solver = get_method("Voting")
-        assert isinstance(solver, Voting)
-        assert isinstance(solver, type(default_registry().create("voting")))
+    def test_baselines_registry_names_are_gone(self):
+        with pytest.raises(ImportError):
+            from repro.baselines import all_methods  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.baselines import get_method  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.baselines import default_method_suite  # noqa: F401
 
-    def test_default_method_suite_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="default_method_suite is deprecated"):
-            legacy = default_method_suite(iterations=5, seed=0)
-        canonical = method_suite(iterations=5, seed=0)
-        assert [type(m) for m in legacy] == [type(m) for m in canonical]
+    def test_integration_pipeline_is_gone(self):
+        with pytest.raises(ImportError):
+            from repro.pipeline import IntegrationPipeline  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.pipeline.integrate import IntegrationPipeline  # noqa: F401
 
+    def test_online_truth_finder_is_gone(self):
+        with pytest.raises(ImportError):
+            importlib.import_module("repro.streaming.online")
+        with pytest.raises(ImportError):
+            from repro.streaming import OnlineTruthFinder  # noqa: F401
+
+    def test_package_root_no_longer_exports_shims(self):
+        for name in ("IntegrationPipeline", "OnlineTruthFinder", "default_method_suite"):
+            assert name not in repro.__all__
+            assert not hasattr(repro, name)
+
+
+class TestCanonicalReplacementsAreWarningFree:
     def test_method_suite_does_not_warn(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             suite = method_suite(iterations=5, seed=0)
         assert len(suite) == 9
 
-    def test_method_suite_include_accepts_keys_and_display_names(self):
-        suite = method_suite(iterations=5, seed=0, include={"LTM": False, "ltm_pos": False})
-        assert not any(isinstance(m, LatentTruthModel) for m in suite)
-        assert len(suite) == 7
-
-
-class TestIntegrationPipelineShim:
-    def test_constructor_warns(self):
-        with pytest.warns(DeprecationWarning, match="IntegrationPipeline is deprecated"):
-            IntegrationPipeline(method=Voting())
-
-    def test_delegates_to_run_integration(self):
-        with pytest.warns(DeprecationWarning):
-            pipeline = IntegrationPipeline(method=Voting(), threshold=0.5)
-        via_shim = pipeline.run(TRIPLES)
-        via_canonical = run_integration(TRIPLES, method=Voting(), threshold=0.5)
-        assert via_shim.fact_scores == via_canonical.fact_scores
-        assert via_shim.merged_records == via_canonical.merged_records
+    def test_registry_resolves_legacy_display_names(self):
+        registry = default_registry()
+        assert registry.resolve("3-Estimates") == "three_estimates"
+        assert registry.resolve("LTM") == "ltm"
 
     def test_run_integration_does_not_warn(self):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
-            result = run_integration(TRIPLES, method=Voting())
+            result = run_integration(TRIPLES, method="voting")
         assert result.num_accepted() >= 1
 
-
-class TestOnlineTruthFinderShim:
-    def test_constructor_warns(self):
-        with pytest.warns(DeprecationWarning, match="OnlineTruthFinder is deprecated"):
-            OnlineTruthFinder(retrain_every=0, iterations=5, seed=1)
-
-    def test_delegates_to_engine_partial_fit(self):
-        from repro.engine import EngineConfig, TruthEngine
-        from repro.core.priors import LTMPriors
-
-        batches = list(ClaimStream(TRIPLES, batch_entities=1))
-        with pytest.warns(DeprecationWarning):
-            finder = OnlineTruthFinder(retrain_every=2, iterations=10, seed=3)
-        for batch in batches:
-            finder.integrate_batch(batch)
-
-        engine = TruthEngine(
-            EngineConfig(
-                method="ltm",
-                params={"priors": LTMPriors(), "iterations": 10, "seed": 3},
-                retrain_every=2,
-                cumulative=True,
+    def test_streaming_engine_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = TruthEngine(
+                method="ltm", params={"iterations": 5, "seed": 0}, retrain_every=0
             )
-        )
-        for batch in batches:
-            engine.partial_fit(batch)
-        assert finder.fact_scores == engine.fact_scores
+            engine.partial_fit(TRIPLES)
+        assert engine.last_report is not None
 
     def test_discover_does_not_warn(self):
-        import repro
-
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             result = repro.discover(TRIPLES, method="voting")

@@ -1,20 +1,18 @@
-"""Tests for the unified engine API: registry, config, facade, discover, shims."""
+"""Tests for the unified engine API: registry, config, facade and discover."""
 
 import numpy as np
 import pytest
 
 import repro
-from repro import EngineConfig, IntegrationPipeline, TruthEngine, default_registry, discover
+from repro import EngineConfig, TruthEngine, default_registry, discover
 from repro.baselines import Voting
 from repro.core.model import LatentTruthModel
 from repro.data.claim_builder import build_claim_matrix
 from repro.engine.registry import MethodRegistry, MethodSpec
 from repro.exceptions import ConfigurationError, NotFittedError, StreamError
-from repro.streaming import ClaimStream, OnlineTruthFinder
+from repro.pipeline import run_integration
+from repro.streaming import ClaimStream
 from repro.types import Triple
-
-# Legacy entry points are exercised on purpose: they must keep delegating.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 def _triples_for(num_entities: int, good_sources: int = 5) -> list[Triple]:
@@ -203,18 +201,18 @@ class TestTruthEngine:
         engine.fit()
         assert engine.result().num_facts == first + 5
 
-    def test_online_truth_finder_settings_stay_live(self):
-        finder = OnlineTruthFinder(retrain_every=5, iterations=10, seed=1)
-        finder.retrain_every = 1
-        reports = finder.run(ClaimStream(_triples_for(4), batch_entities=2))
-        assert all(r.retrained for r in reports)
-        finder.retrain_every = 0
-        report = finder.integrate_batch(
-            next(iter(ClaimStream(_triples_for(6)[-12:], batch_entities=2)))
+    def test_engine_config_stays_live_mid_stream(self):
+        engine = TruthEngine(
+            method="ltm", params={"iterations": 10, "seed": 1}, retrain_every=1
         )
+        for batch in ClaimStream(_triples_for(4), batch_entities=2):
+            engine.partial_fit(batch)
+        assert all(r.retrained for r in engine.reports)
+        engine.config = engine.config.with_overrides(retrain_every=0)
+        report = engine.partial_fit(
+            next(iter(ClaimStream(_triples_for(6)[-12:], batch_entities=2)))
+        ).last_report
         assert not report.retrained
-        with pytest.raises(StreamError):
-            finder.retrain_every = -1
 
     def test_partial_fit_empty_batch_rejected(self):
         engine = TruthEngine(method="ltm")
@@ -239,11 +237,11 @@ class TestDiscover:
         )
         np.testing.assert_array_equal(result.truth_result.scores, direct.scores)
 
-    def test_discover_matches_integration_pipeline(self, paper_triples):
+    def test_discover_matches_run_integration(self, paper_triples):
         via_discover = discover(paper_triples, method="ltm", iterations=40, seed=0)
-        via_pipeline = IntegrationPipeline(
-            method=LatentTruthModel(iterations=40, seed=0)
-        ).run(paper_triples)
+        via_pipeline = run_integration(
+            paper_triples, method=LatentTruthModel(iterations=40, seed=0)
+        )
         assert via_discover.fact_scores == via_pipeline.fact_scores
         assert via_discover.merged_records == via_pipeline.merged_records
         assert via_discover.rejected_records == via_pipeline.rejected_records
@@ -263,8 +261,8 @@ class TestDiscover:
 
 
 class TestStreamingParity:
-    def test_partial_fit_matches_online_truth_finder(self):
-        """TruthEngine.partial_fit reproduces OnlineTruthFinder exactly.
+    def test_partial_fit_is_reproducible(self):
+        """Two identically-configured engines stream to identical state.
 
         Mirrors the examples/streaming_integration.py workload shape:
         bootstrap on a historical prefix, then integrate entity batches with
@@ -273,57 +271,31 @@ class TestStreamingParity:
         triples = _triples_for(24)
         historical, future = ClaimStream.split_prefix(triples, fraction=0.4, seed=1)
 
-        finder = OnlineTruthFinder(retrain_every=2, iterations=25, seed=11)
-        finder.bootstrap(historical)
-        finder_reports = finder.run(
-            ClaimStream(future, batch_entities=4, shuffle_entities=True, seed=2)
-        )
+        def run_stream():
+            engine = TruthEngine(
+                method="ltm",
+                params={"iterations": 25, "seed": 11},
+                retrain_every=2,
+            )
+            engine.ingest(historical)
+            engine.fit()
+            for batch in ClaimStream(
+                future, batch_entities=4, shuffle_entities=True, seed=2
+            ):
+                engine.partial_fit(batch)
+            return engine
 
-        engine = TruthEngine(
-            method="ltm",
-            params={"priors": finder.priors, "iterations": 25, "seed": 11},
-            retrain_every=2,
-        )
-        engine.ingest(historical)
-        engine.fit()
-        for batch in ClaimStream(future, batch_entities=4, shuffle_entities=True, seed=2):
-            engine.partial_fit(batch)
-
-        assert engine.fact_scores == finder.fact_scores
-        assert [r.retrained for r in engine.reports] == [
-            r.retrained for r in finder_reports
+        first, second = run_stream(), run_stream()
+        assert first.fact_scores == second.fact_scores
+        assert [r.retrained for r in first.reports] == [
+            r.retrained for r in second.reports
         ]
-        assert engine.merged_records(0.5) == finder.merged_records(0.5)
-
-    def test_online_truth_finder_is_engine_adapter(self):
-        finder = OnlineTruthFinder(retrain_every=0, iterations=20, seed=1)
-        assert isinstance(finder.engine, TruthEngine)
-        finder.bootstrap(_triples_for(6))
-        assert finder.source_quality is finder.engine.source_quality
+        assert first.merged_records(0.5) == second.merged_records(0.5)
 
 
-class TestDeprecationShims:
-    def test_legacy_imports_still_work(self):
-        from repro.baselines.registry import all_methods, default_method_suite, get_method
-        from repro.pipeline import IntegrationPipeline as LegacyPipeline
-        from repro.streaming.online import OnlineStepReport, OnlineTruthFinder as LegacyOnline
-
-        assert len(all_methods()) == 9
-        assert isinstance(get_method("Voting"), Voting)
-        assert len(default_method_suite(iterations=5, seed=0)) == 9
-        assert LegacyPipeline is IntegrationPipeline
-        assert LegacyOnline is OnlineTruthFinder
-        assert OnlineStepReport is not None
-
-    def test_legacy_get_method_accepts_canonical_keys(self):
-        from repro.baselines.registry import get_method
-
-        assert isinstance(get_method("three_estimates"), type(get_method("3-Estimates")))
-        with pytest.raises(ConfigurationError):
-            get_method("NoSuchMethod")
-
-    def test_pipeline_accepts_registry_names(self, paper_triples):
-        result = IntegrationPipeline(method="voting").run(paper_triples)
+class TestRunIntegrationEntryPoint:
+    def test_run_integration_accepts_registry_names(self, paper_triples):
+        result = run_integration(paper_triples, method="voting")
         assert result.truth_result.method == "Voting"
         with pytest.raises(ConfigurationError):
-            IntegrationPipeline(method=Voting(), iterations=5)
+            run_integration(paper_triples, method=Voting(), iterations=5)

@@ -7,17 +7,15 @@ from repro.cli import build_parser, main
 from repro.core.model import LatentTruthModel
 from repro.data.loaders import save_labels_csv, save_triples_csv
 from repro.exceptions import ConfigurationError, EmptyDatasetError
-from repro.pipeline import IntegrationPipeline, format_merged_records, format_quality_report
+from repro.pipeline import format_merged_records, format_quality_report, run_integration
 from repro.pipeline.report import format_integration_summary
 
-# IntegrationPipeline is exercised on purpose here: it must keep delegating.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
-
-class TestIntegrationPipeline:
+class TestRunIntegration:
     def test_merges_paper_example(self, paper_triples):
-        pipeline = IntegrationPipeline(method=LatentTruthModel(iterations=60, seed=0))
-        result = pipeline.run(paper_triples)
+        result = run_integration(
+            paper_triples, method=LatentTruthModel(iterations=60, seed=0)
+        )
         assert result.claims.num_facts == 5
         assert result.num_accepted() + result.num_rejected() == 5
         harry = result.accepted_values("Harry Potter")
@@ -30,14 +28,13 @@ class TestIntegrationPipeline:
             ("Pirates 4", "Johnny Depp"),
         }
 
-    def test_voting_pipeline(self, paper_triples):
-        result = IntegrationPipeline(method=Voting()).run(paper_triples)
+    def test_voting_integration(self, paper_triples):
+        result = run_integration(paper_triples, method=Voting())
         assert result.source_quality is None
         assert result.accepted_values("Pirates 4") == ["Johnny Depp"]
 
     def test_workspace_tables(self, paper_triples):
-        pipeline = IntegrationPipeline(method=Voting(), keep_workspace=True)
-        result = pipeline.run(paper_triples)
+        result = run_integration(paper_triples, method=Voting(), keep_workspace=True)
         workspace = result.workspace
         assert workspace is not None
         assert set(workspace.table_names) == {"raw_database", "facts", "claims", "truths"}
@@ -46,15 +43,15 @@ class TestIntegrationPipeline:
 
     def test_empty_input_rejected(self):
         with pytest.raises(EmptyDatasetError):
-            IntegrationPipeline(method=Voting()).run([])
+            run_integration([], method=Voting())
 
     def test_invalid_threshold(self):
         with pytest.raises(ConfigurationError):
-            IntegrationPipeline(threshold=1.5)
+            run_integration([("e", "a", "s")], threshold=1.5)
 
     def test_high_threshold_rejects_more(self, paper_triples):
-        lenient = IntegrationPipeline(method=Voting(), threshold=0.3).run(paper_triples)
-        strict = IntegrationPipeline(method=Voting(), threshold=0.9).run(paper_triples)
+        lenient = run_integration(paper_triples, method=Voting(), threshold=0.3)
+        strict = run_integration(paper_triples, method=Voting(), threshold=0.9)
         assert strict.num_accepted() <= lenient.num_accepted()
 
 
@@ -79,7 +76,7 @@ class TestReports:
         assert "more entities" in text
 
     def test_integration_summary(self, paper_triples):
-        result = IntegrationPipeline(method=Voting()).run(paper_triples)
+        result = run_integration(paper_triples, method=Voting())
         text = format_integration_summary(result)
         assert "candidate facts:   5" in text
         assert "method:            Voting" in text

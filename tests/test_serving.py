@@ -8,7 +8,7 @@ Covers the acceptance contracts of the serving pillar:
 * version-mismatch warning and schema-migration hooks on load;
 * cold-start scoring of claims from sources unseen at fit time;
 * atomic ``refresh`` snapshot swaps under interleaved / concurrent queries;
-* step-artifact emission from ``partial_fit`` / ``OnlineTruthFinder``;
+* step-artifact emission from ``partial_fit`` / ``export_dir``;
 * the ``repro-truth export`` / ``query`` CLI surface.
 """
 
@@ -581,19 +581,25 @@ def test_cli_export_positional_source_is_file_first(tmp_path, capsys, monkeypatc
     assert "Only Director" in capsys.readouterr().out
 
 
-def test_online_truth_finder_artifact_dir(tmp_path):
-    from repro.streaming import ClaimStream, OnlineTruthFinder
+def test_streaming_export_dir_publishes_steps(tmp_path):
+    from repro.streaming import ClaimStream
 
-    with pytest.deprecated_call():
-        finder = OnlineTruthFinder(
-            retrain_every=0, iterations=10, seed=1, artifact_dir=str(tmp_path / "steps")
+    engine = TruthEngine(
+        EngineConfig(
+            method="ltm",
+            params={"iterations": 10, "seed": 1},
+            retrain_every=0,
+            export_dir=str(tmp_path / "steps"),
         )
-    finder.bootstrap(_source_for("paper_example").iter_triples())
+    )
+    engine.ingest(_source_for("paper_example").iter_triples())
+    engine.fit()
     stream = ClaimStream(
         [("Pirates 5", "Johnny Depp", "IMDB"), ("Pirates 5", "Someone", "BadSource.com")],
         batch_entities=1,
     )
-    finder.run(stream)
+    for batch in stream:
+        engine.partial_fit(batch)
     published = sorted(p.name for p in (tmp_path / "steps").iterdir())
     assert published == ["step_00001"]
 

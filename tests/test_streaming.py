@@ -1,14 +1,24 @@
-"""Tests for the streaming claim batches and the online integration engine."""
+"""Tests for the streaming claim batches and the engine's streaming lifecycle."""
 
 import pytest
 
+from repro.engine import EngineConfig, TruthEngine
 from repro.exceptions import StreamError
-from repro.streaming import ClaimStream, OnlineTruthFinder
+from repro.streaming import ClaimStream
 from repro.streaming.stream import ClaimBatch
 from repro.types import Triple
 
-# Legacy entry points are exercised on purpose: they must keep delegating.
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+def _streaming_engine(retrain_every=5, iterations=30, cumulative=True, seed=1):
+    """A streaming-configured LTM engine (the former OnlineTruthFinder shape)."""
+    return TruthEngine(
+        EngineConfig(
+            method="ltm",
+            params={"iterations": iterations, "seed": seed},
+            retrain_every=retrain_every,
+            cumulative=cumulative,
+        )
+    )
 
 
 def _triples_for(num_entities: int, good_sources: int = 5) -> list[Triple]:
@@ -71,16 +81,18 @@ class TestClaimStream:
         assert batch.entities == ["e"]
 
 
-class TestOnlineTruthFinder:
+class TestStreamingEngine:
     def test_bootstrap_then_stream(self):
         triples = _triples_for(30)
         historical, future = ClaimStream.split_prefix(triples, fraction=0.5, seed=0)
-        engine = OnlineTruthFinder(retrain_every=0, iterations=30, seed=1)
-        quality = engine.bootstrap(historical)
-        assert quality is not None
+        engine = _streaming_engine(retrain_every=0, iterations=30, seed=1)
+        engine.ingest(historical)
+        engine.fit()
         assert engine.source_quality is not None
 
-        reports = engine.run(ClaimStream(future, batch_entities=5))
+        for batch in ClaimStream(future, batch_entities=5):
+            engine.partial_fit(batch)
+        reports = engine.reports
         assert len(reports) >= 1
         assert all(report.num_facts > 0 for report in reports)
         # The spammer's junk facts should be overwhelmingly rejected while the
@@ -93,45 +105,46 @@ class TestOnlineTruthFinder:
         assert accepted_junk <= 3
 
     def test_cold_start_falls_back_to_voting(self):
-        engine = OnlineTruthFinder(retrain_every=2, iterations=20, seed=1)
+        engine = _streaming_engine(retrain_every=2, iterations=20, seed=1)
         batches = list(ClaimStream(_triples_for(8), batch_entities=4))
-        report = engine.integrate_batch(batches[0])
+        report = engine.partial_fit(batches[0]).last_report
         assert report.retrained is False
         assert engine.source_quality is None
-        report2 = engine.integrate_batch(batches[1])
+        report2 = engine.partial_fit(batches[1]).last_report
         assert report2.retrained is True
         assert engine.source_quality is not None
 
     def test_periodic_retraining_counts(self):
-        engine = OnlineTruthFinder(retrain_every=2, iterations=15, seed=1)
-        reports = engine.run(ClaimStream(_triples_for(12), batch_entities=3))
-        retrain_flags = [r.retrained for r in reports]
+        engine = _streaming_engine(retrain_every=2, iterations=15, seed=1)
+        for batch in ClaimStream(_triples_for(12), batch_entities=3):
+            engine.partial_fit(batch)
+        retrain_flags = [r.retrained for r in engine.reports]
         assert retrain_flags == [False, True, False, True]
 
     def test_non_cumulative_retraining(self):
-        engine = OnlineTruthFinder(retrain_every=1, iterations=15, cumulative=False, seed=1)
-        reports = engine.run(ClaimStream(_triples_for(9), batch_entities=3))
-        assert all(r.retrained for r in reports)
+        engine = _streaming_engine(retrain_every=1, iterations=15, cumulative=False, seed=1)
+        for batch in ClaimStream(_triples_for(9), batch_entities=3):
+            engine.partial_fit(batch)
+        assert all(r.retrained for r in engine.reports)
         assert engine.source_quality is not None
 
     def test_empty_batch_rejected(self):
-        engine = OnlineTruthFinder()
+        engine = _streaming_engine()
         with pytest.raises(StreamError):
-            engine.integrate_batch(ClaimBatch(index=0, triples=()))
+            engine.partial_fit(ClaimBatch(index=0, triples=()))
 
-    def test_bootstrap_requires_new_triples(self):
-        engine = OnlineTruthFinder()
-        with pytest.raises(StreamError):
-            engine.bootstrap([])
+    def test_fit_requires_triples(self):
+        from repro.exceptions import EmptyDatasetError
 
-    def test_invalid_retrain_every(self):
-        with pytest.raises(StreamError):
-            OnlineTruthFinder(retrain_every=-1)
+        engine = _streaming_engine()
+        with pytest.raises(EmptyDatasetError):
+            engine.fit()
 
     def test_step_report_accepted_facts(self):
-        engine = OnlineTruthFinder(retrain_every=0, iterations=20, seed=1)
-        engine.bootstrap(_triples_for(10))
+        engine = _streaming_engine(retrain_every=0, iterations=20, seed=1)
+        engine.ingest(_triples_for(10))
+        engine.fit()
         batch = next(iter(ClaimStream(_triples_for(20)[30:], batch_entities=50)))
-        report = engine.integrate_batch(batch)
+        report = engine.partial_fit(batch).last_report
         accepted = report.accepted_facts(threshold=0.5)
         assert all(isinstance(pair, tuple) and len(pair) == 2 for pair in accepted)
