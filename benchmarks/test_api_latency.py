@@ -1,0 +1,162 @@
+"""E12 — HTTP API latency under concurrent load: the repro.api serving tier.
+
+The network-tier claim behind :mod:`repro.api` is that putting the
+hot-swappable :class:`~repro.serving.TruthService` behind an ASGI app keeps
+truth queries cheap: request handling adds parsing, routing, rate-limit
+accounting, metrics and JSON encoding on top of the underlying hash-index
+lookup, and all of it must stay worth serving.  This benchmark drives the
+app in process through :class:`~repro.api.ASGIClient` (no sockets, so it
+measures the application stack, not the kernel) with many concurrent client
+tasks issuing a realistic endpoint mix:
+
+* **point** — ``GET /truth/{entity}?attribute=...`` single-fact lookups;
+* **list**  — ``GET /truth/{entity}`` ranked per-entity listings;
+* **batch** — ``POST /batch`` with 32-pair payloads;
+* **top-k** — ``GET /top-k?k=10`` global rankings.
+
+A second phase turns the per-client token bucket on and hammers one client
+past its budget, pinning that overload is answered with cheap 429s (with
+``Retry-After``) rather than errors.  Results are recorded under
+``benchmarks/results/api_latency.txt`` with conservative floors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.api import ASGIClient, create_app
+from repro.engine import TruthEngine
+from repro.io import as_source
+
+from conftest import write_result
+
+NUM_MOVIES = 800
+NUM_CLIENTS = 8
+REQUESTS_PER_CLIENT = 150
+BATCH_PAIRS = 32
+
+#: Conservative floor (requests/sec across the whole mix) — an order of
+#: magnitude under what a laptop does in process, so the assertion catches a
+#: quadratic handler or accidental per-request refit, not a slow CI box.
+MIN_REQUESTS_PER_S = 1_000.0
+
+BURST_REQUESTS = 40
+BURST_BUCKET = 5
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(samples), q))
+
+
+def test_api_latency_under_load(results_dir):
+    source = as_source("movies", seed=31, num_movies=NUM_MOVIES, labelled_movies=100)
+    engine = TruthEngine(method="ltm", iterations=25, seed=7).fit(source)
+    app = create_app(engine.to_artifact(name="api-latency"), rate=None)
+    client = ASGIClient(app)
+
+    known = list(engine.fact_scores)
+    rng = np.random.default_rng(17)
+    picks = rng.integers(0, len(known), size=NUM_CLIENTS * REQUESTS_PER_CLIENT)
+    batch_body = json.dumps(
+        {"pairs": [list(known[i]) for i in rng.integers(0, len(known), size=BATCH_PAIRS)]}
+    ).encode()
+
+    from urllib.parse import quote
+
+    latencies: dict[str, list[float]] = {"point": [], "list": [], "batch": [], "top-k": []}
+    errors: list[int] = []
+
+    async def client_task(client_index: int) -> None:
+        for j in range(REQUESTS_PER_CLIENT):
+            entity, attribute = known[picks[client_index * REQUESTS_PER_CLIENT + j]]
+            kind = ("point", "list", "batch", "top-k")[j % 4]
+            start = time.perf_counter()
+            if kind == "point":
+                response = await client.get(
+                    f"/truth/{quote(entity)}?attribute={quote(str(attribute))}"
+                )
+            elif kind == "list":
+                response = await client.get(f"/truth/{quote(entity)}")
+            elif kind == "batch":
+                response = await client.post(
+                    "/batch",
+                    body=batch_body,
+                    headers={"Content-Type": "application/json"},
+                )
+            else:
+                response = await client.get("/top-k?k=10")
+            latencies[kind].append(time.perf_counter() - start)
+            if response.status != 200:
+                errors.append(response.status)
+
+    async def load() -> float:
+        start = time.perf_counter()
+        await asyncio.gather(*[client_task(i) for i in range(NUM_CLIENTS)])
+        return time.perf_counter() - start
+
+    elapsed = asyncio.run(load())
+    total_requests = NUM_CLIENTS * REQUESTS_PER_CLIENT
+    requests_per_s = total_requests / elapsed
+
+    # Phase 2: one client hammers a rate-limited app past its token budget.
+    limited = create_app(
+        engine.to_artifact(name="api-latency-limited"), rate=1.0, burst=BURST_BUCKET
+    )
+    limited_client = ASGIClient(limited)
+
+    async def burst() -> tuple[int, int, bool]:
+        ok = throttled = 0
+        saw_retry_after = False
+        for _ in range(BURST_REQUESTS):
+            response = await limited_client.get("/top-k?k=5")
+            if response.status == 200:
+                ok += 1
+            elif response.status == 429:
+                throttled += 1
+                saw_retry_after = saw_retry_after or "retry-after" in response.headers
+        return ok, throttled, saw_retry_after
+
+    ok, throttled, saw_retry_after = asyncio.run(burst())
+
+    all_samples = [s for samples in latencies.values() for s in samples]
+    lines = [
+        "E12  HTTP API latency under concurrent load (repro.api, in-process ASGI)",
+        "",
+        f"artifact: {len(known)} facts (movies feed, {NUM_MOVIES} movies)",
+        f"load:     {NUM_CLIENTS} concurrent clients x {REQUESTS_PER_CLIENT} requests, "
+        f"mix point/list/batch({BATCH_PAIRS} pairs)/top-k",
+        "",
+        f"{'endpoint':10s}  {'requests':>8s}  {'p50 ms':>8s}  {'p95 ms':>8s}  {'p99 ms':>8s}",
+        f"{'-' * 10}  {'-' * 8}  {'-' * 8}  {'-' * 8}  {'-' * 8}",
+    ]
+    for kind in ("point", "list", "batch", "top-k"):
+        samples = latencies[kind]
+        lines.append(
+            f"{kind:10s}  {len(samples):8d}  "
+            f"{_percentile(samples, 50) * 1e3:8.3f}  "
+            f"{_percentile(samples, 95) * 1e3:8.3f}  "
+            f"{_percentile(samples, 99) * 1e3:8.3f}"
+        )
+    lines += [
+        "",
+        f"overall:  {total_requests} requests in {elapsed:.3f}s = {requests_per_s:,.0f} req/s, "
+        f"{len(errors)} non-200s, "
+        f"mix p99 {_percentile(all_samples, 99) * 1e3:.3f} ms",
+        f"overload: {BURST_REQUESTS} burst requests at rate=1/s burst={BURST_BUCKET} -> "
+        f"{ok} x 200, {throttled} x 429 (Retry-After: "
+        f"{'present' if saw_retry_after else 'MISSING'})",
+        "",
+        f"floor: >= {MIN_REQUESTS_PER_S:,.0f} req/s across the mix",
+        "",
+    ]
+    write_result(results_dir, "api_latency.txt", "\n".join(lines))
+
+    assert not errors, f"non-200 responses under load: {errors[:5]}"
+    assert requests_per_s >= MIN_REQUESTS_PER_S, f"API too slow: {requests_per_s:,.0f} req/s"
+    assert ok == BURST_BUCKET  # exactly the bucket drains successfully
+    assert throttled == BURST_REQUESTS - BURST_BUCKET
+    assert saw_retry_after

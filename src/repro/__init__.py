@@ -24,7 +24,13 @@ with :func:`repro.io.as_source` — so ``repro.discover("books")`` or
 and answers point / batch / top-k truth queries — plus closed-form scoring
 of unseen claims — through a hot-swappable
 :class:`~repro.serving.TruthService` (``repro.serve("books")`` trains and
-serves in one line).  On the scale-out side, :mod:`repro.parallel`
+serves in one line).  On the network side, :mod:`repro.api` fronts a
+service with a dependency-free ASGI 3.0 application
+(:func:`repro.api.create_app`, CLI: ``repro-truth serve``) — truth / batch /
+top-k / score / ingest HTTP endpoints with per-client rate limiting,
+idempotency keys, Prometheus metrics and zero-downtime artifact hot swap,
+runnable under the bundled stdlib :class:`~repro.api.APIServer` or any
+external ASGI server.  On the scale-out side, :mod:`repro.parallel`
 hash-partitions any source by entity (:class:`~repro.parallel.ShardPlanner`),
 fits shards on serial / thread / process backends
 (:class:`~repro.parallel.ParallelExecutor`) and merges them with score
@@ -128,8 +134,9 @@ from repro.parallel import (
     merge_artifacts,
 )
 from repro.serving import TruthArtifact, TruthService, load_artifact, serve
+from repro.api import APIServer, ASGIClient, TruthAPI, create_app
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -163,6 +170,11 @@ __all__ = [
     "TruthService",
     "load_artifact",
     "serve",
+    # network serving tier (canonical HTTP API)
+    "TruthAPI",
+    "create_app",
+    "APIServer",
+    "ASGIClient",
     # data model
     "Triple",
     "RawDatabase",

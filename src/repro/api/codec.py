@@ -1,0 +1,70 @@
+"""Canonical JSON response codec, shared by the HTTP API and the CLI.
+
+One serializer produces every machine-readable result the library emits over
+a wire or a pipe: the :mod:`repro.api` response bodies and the
+``repro-truth query --json`` output lines go through :func:`canonical_json`,
+so a fact rendered by the CLI is byte-identical to the same fact rendered by
+``GET /truth/{entity}`` (modulo the envelope).
+
+Canonical form: sorted keys, compact separators, UTF-8 (no ASCII escaping),
+and **no non-standard tokens** — ``NaN`` / ``±Infinity`` are mapped to
+``null`` before encoding (the API's "unknown fact" value), never emitted as
+the invalid-JSON literals Python's default encoder produces.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Mapping
+
+__all__ = ["canonical_json", "encode_json", "sanitize", "fact_row"]
+
+
+def sanitize(value: Any) -> Any:
+    """Recursively map ``value`` onto strict-JSON-safe types.
+
+    Non-finite floats become ``None``; numpy scalars are unwrapped via their
+    ``item()``; mappings and sequences recurse.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and not isinstance(value, Mapping):
+        return sanitize(value.item())
+    if isinstance(value, Mapping):
+        return {str(k): sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize(v) for v in value]
+    raise TypeError(f"value of type {type(value).__name__!r} is not JSON-serialisable")
+
+
+def canonical_json(value: Any) -> str:
+    """Render ``value`` as one canonical JSON document (no trailing newline)."""
+    return json.dumps(
+        sanitize(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+        allow_nan=False,
+    )
+
+
+def encode_json(value: Any) -> bytes:
+    """The canonical UTF-8 wire encoding: one JSON document plus ``\\n``."""
+    return (canonical_json(value) + "\n").encode("utf-8")
+
+
+def fact_row(
+    entity: str, attribute: str, score: float, threshold: float | None = None
+) -> dict[str, Any]:
+    """The shared per-fact result object of the API and ``query --json``."""
+    row: dict[str, Any] = {
+        "entity": str(entity),
+        "attribute": str(attribute),
+        "score": float(score),
+    }
+    if threshold is not None:
+        row["accepted"] = bool(score >= threshold)
+    return row

@@ -1,0 +1,108 @@
+"""Idempotency-key replay cache for mutating API requests.
+
+``POST /ingest`` is retried by every well-behaved client (networks drop
+responses after the server applied the write), so applying it twice must be
+harmless.  The contract, modelled on the Stripe-style header protocol:
+
+* a request carrying ``Idempotency-Key: K`` records its response under ``K``
+  together with a digest of the request body;
+* a replay — same key, same body — returns the *stored* response without
+  re-applying the write (the API marks it with ``Idempotency-Replay: true``);
+* the same key with a *different* body is a client bug and is refused
+  (HTTP 409) rather than silently returning a response for a body the
+  client never sent;
+* keys expire after ``ttl`` seconds and the cache holds at most
+  ``max_keys`` entries (oldest evicted first), so the store cannot grow
+  without bound under key-churning clients.
+
+Clock-injectable like :mod:`repro.api.rate_limit` for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CachedResponse", "IdempotencyCache", "body_digest"]
+
+
+def body_digest(body: bytes) -> str:
+    """Stable digest identifying a request body byte-for-byte."""
+    return hashlib.sha256(body).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedResponse:
+    """One stored response: the body digest it answered plus the wire reply."""
+
+    digest: str
+    status: int
+    body: bytes
+    content_type: str
+    expires: float
+
+
+class IdempotencyCache:
+    """TTL + capacity bounded store of responses keyed by idempotency key."""
+
+    def __init__(
+        self,
+        ttl: float = 3600.0,
+        *,
+        max_keys: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ttl <= 0:
+            raise ConfigurationError("idempotency ttl must be positive")
+        if max_keys < 1:
+            raise ConfigurationError("max_keys must be at least 1")
+        self.ttl = float(ttl)
+        self._max_keys = int(max_keys)
+        self._clock = clock
+        self._entries: "OrderedDict[str, CachedResponse]" = OrderedDict()
+
+    def lookup(self, key: str, digest: str) -> tuple[CachedResponse | None, bool]:
+        """Look up ``key`` for a request whose body hashes to ``digest``.
+
+        Returns ``(cached, conflict)``: a stored response to replay, or
+        ``conflict=True`` when the key was used with a different body.
+        Expired entries read as absent.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None, False
+        if self._clock() >= entry.expires:
+            del self._entries[key]
+            return None, False
+        if entry.digest != digest:
+            return None, True
+        return entry, False
+
+    def store(self, key: str, digest: str, status: int, body: bytes, content_type: str) -> None:
+        """Record the response served for ``key`` (restarting its TTL)."""
+        self._entries.pop(key, None)
+        self._entries[key] = CachedResponse(
+            digest=digest,
+            status=int(status),
+            body=bytes(body),
+            content_type=content_type,
+            expires=self._clock() + self.ttl,
+        )
+        self._evict()
+
+    def _evict(self) -> None:
+        now = self._clock()
+        expired = [k for k, e in self._entries.items() if now >= e.expires]
+        for key in expired:
+            del self._entries[key]
+        while len(self._entries) > self._max_keys:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        self._evict()
+        return len(self._entries)

@@ -1,0 +1,83 @@
+"""Per-client token-bucket rate limiting for the API tier.
+
+Classic token bucket: each client key owns a bucket holding up to ``burst``
+tokens that refills continuously at ``rate`` tokens/second; a request costs
+one token, and a request finding the bucket empty is rejected together with
+the number of seconds after which one whole token will have accumulated —
+the value the API returns as ``Retry-After``.
+
+The limiter is deliberately clock-injectable (``clock=time.monotonic`` by
+default) so tests drive it deterministically, and bounds its own memory: at
+most ``max_clients`` buckets are tracked, evicting the least-recently-used
+bucket beyond that — an evicted client simply starts over with a full
+bucket, which errs on the side of serving.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["RateLimiter"]
+
+
+class RateLimiter:
+    """Token buckets keyed by client identity.
+
+    Parameters
+    ----------
+    rate:
+        Sustained tokens (requests) per second granted to each client.
+    burst:
+        Bucket capacity — the largest instantaneous burst a client may
+        spend.  Defaults to ``rate`` (one second's worth).
+    clock:
+        Monotonic time source, injectable for deterministic tests.
+    max_clients:
+        Upper bound on tracked buckets (LRU-evicted beyond it).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        max_clients: int = 4096,
+    ):
+        if rate <= 0:
+            raise ConfigurationError("rate limit must be positive (omit the limiter to disable)")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst < 1.0:
+            raise ConfigurationError("burst must allow at least one request")
+        if max_clients < 1:
+            raise ConfigurationError("max_clients must be at least 1")
+        self._clock = clock
+        self._max_clients = int(max_clients)
+        #: client -> (tokens, last_refill); ordered by recency of use.
+        self._buckets: "OrderedDict[str, tuple[float, float]]" = OrderedDict()
+
+    def check(self, client: str) -> tuple[bool, float]:
+        """Spend one token for ``client``.
+
+        Returns ``(allowed, retry_after)``: ``retry_after`` is ``0.0`` when
+        allowed, else the seconds until a full token has refilled.
+        """
+        now = self._clock()
+        tokens, updated = self._buckets.pop(client, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - updated) * self.rate)
+        if tokens >= 1.0:
+            allowed, tokens, retry_after = True, tokens - 1.0, 0.0
+        else:
+            allowed, retry_after = False, (1.0 - tokens) / self.rate
+        self._buckets[client] = (tokens, now)
+        while len(self._buckets) > self._max_clients:
+            self._buckets.popitem(last=False)
+        return allowed, retry_after
+
+    def __len__(self) -> int:
+        return len(self._buckets)

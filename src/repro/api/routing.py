@@ -1,0 +1,95 @@
+"""A minimal exact-segment router for the ASGI application.
+
+Patterns are literal paths whose segments may be ``{name}`` placeholders
+matching exactly one (percent-decoded) path segment::
+
+    router.add("GET", "/truth/{entity}", handler)
+    handler, params = router.match("GET", "/truth/Harry%20Potter")
+    params == {"entity": "Harry Potter"}
+
+Matching distinguishes *unknown path* (:class:`NotFound`) from *known path,
+wrong verb* (:class:`MethodNotAllowed`, carrying the allowed verbs for the
+``Allow`` response header), which is what lets the app answer 404 vs 405
+correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+from urllib.parse import unquote
+
+__all__ = ["Router", "NotFound", "MethodNotAllowed"]
+
+
+class NotFound(Exception):
+    """No route pattern matches the request path."""
+
+
+class MethodNotAllowed(Exception):
+    """The path matches, but not under the request method."""
+
+    def __init__(self, allowed: tuple[str, ...]):
+        super().__init__(f"allowed methods: {', '.join(allowed)}")
+        self.allowed = allowed
+
+
+class _Route:
+    __slots__ = ("method", "pattern", "segments", "handler")
+
+    def __init__(self, method: str, pattern: str, handler: Callable[..., Any]):
+        self.method = method.upper()
+        self.pattern = pattern
+        self.segments = tuple(pattern.strip("/").split("/")) if pattern != "/" else ()
+        self.handler = handler
+
+    def match(self, segments: tuple[str, ...]) -> dict[str, str] | None:
+        if len(segments) != len(self.segments):
+            return None
+        params: dict[str, str] = {}
+        for expected, actual in zip(self.segments, segments):
+            if expected.startswith("{") and expected.endswith("}"):
+                params[expected[1:-1]] = actual
+            elif expected != actual:
+                return None
+        return params
+
+
+class Router:
+    """Ordered route table with 404/405 discrimination."""
+
+    def __init__(self) -> None:
+        self._routes: list[_Route] = []
+
+    def add(self, method: str, pattern: str, handler: Callable[..., Any]) -> None:
+        """Register ``handler`` for ``method`` on ``pattern``."""
+        self._routes.append(_Route(method, pattern, handler))
+
+    def match(
+        self, method: str, path: str
+    ) -> tuple[Callable[..., Any], str, dict[str, str]]:
+        """Resolve a request to ``(handler, route_pattern, path_params)``.
+
+        ``path`` is the raw request path; segments are percent-decoded
+        before matching so ``/truth/Harry%20Potter`` binds
+        ``entity="Harry Potter"``.
+        """
+        segments = (
+            tuple(unquote(part) for part in path.strip("/").split("/"))
+            if path not in ("", "/")
+            else ()
+        )
+        allowed: list[str] = []
+        for route in self._routes:
+            params = route.match(segments)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return route.handler, route.pattern, params
+            allowed.append(route.method)
+        if allowed:
+            raise MethodNotAllowed(tuple(dict.fromkeys(allowed)))
+        raise NotFound(path)
+
+    def patterns(self) -> list[tuple[str, str]]:
+        """All registered ``(method, pattern)`` pairs, registration order."""
+        return [(route.method, route.pattern) for route in self._routes]

@@ -1,0 +1,289 @@
+"""A dependency-free asyncio HTTP/1.1 server speaking ASGI to the app.
+
+:class:`APIServer` is the fallback transport that makes ``repro-truth
+serve`` work with *zero* extra installs: a small HTTP/1.1 implementation on
+:func:`asyncio.start_server` that parses requests, builds an ASGI 3.0 HTTP
+scope, drives the application (:class:`~repro.api.app.TruthAPI` or any other
+ASGI callable) and writes its response back — keep-alive connections,
+``Content-Length`` framing, bounded header/body sizes.
+
+It is intentionally minimal rather than general: no TLS, no chunked request
+bodies (501), no websockets — for production traffic install the ``[api]``
+extra and run the same app under a real ASGI server (uvicorn etc.); the two
+transports serve byte-identical bodies for the same request, which the test
+suite pins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from http import HTTPStatus
+from typing import Any, Awaitable, Callable
+from urllib.parse import unquote
+
+__all__ = ["APIServer", "run"]
+
+#: Hard caps keeping one misbehaving client from exhausting the process.
+MAX_REQUEST_LINE = 16 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_ASGIApp = Callable[[dict, Callable[[], Awaitable[dict]], Callable[[dict], Awaitable[None]]], Awaitable[None]]
+
+
+def _reason(status: int) -> str:
+    try:
+        return HTTPStatus(status).phrase
+    except ValueError:
+        return "Unknown"
+
+
+class _ParseError(Exception):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class APIServer:
+    """Serve an ASGI application over stdlib asyncio HTTP/1.1.
+
+    Usage::
+
+        server = APIServer(app, host="127.0.0.1", port=8799)
+        await server.start()          # binds; server.port is the real port
+        await server.serve_forever()  # until cancelled
+        await server.close()
+    """
+
+    def __init__(self, app: _ASGIApp, host: str = "127.0.0.1", port: int = 8799):
+        self.app = app
+        self.host = host
+        self._requested_port = int(port)
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (differs from the request for port 0)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "APIServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- connection handling --------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _ParseError as exc:
+                    await self._write_error(writer, exc.status, str(exc))
+                    break
+                if parsed is None:
+                    break  # clean EOF between requests
+                method, target, version, headers, body = parsed
+                keep_alive = self._keep_alive(version, headers)
+                scope = self._build_scope(method, target, version, headers, writer)
+                try:
+                    status_body = await self._run_app(scope, body)
+                except Exception:
+                    await self._write_error(writer, 500, "application error")
+                    break
+                status, response_headers, response_body = status_body
+                self._write_response(
+                    writer, status, response_headers, response_body, keep_alive
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, str, list[tuple[bytes, bytes]], bytes] | None:
+        try:
+            request_line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError):
+            raise _ParseError(431, "request line too large")
+        if not request_line:
+            return None
+        if len(request_line) > MAX_REQUEST_LINE:
+            raise _ParseError(431, "request line too large")
+        try:
+            method, target, version = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+        except ValueError:
+            raise _ParseError(400, "malformed request line")
+        if version not in ("HTTP/1.0", "HTTP/1.1"):
+            raise _ParseError(505, "unsupported HTTP version")
+
+        headers: list[tuple[bytes, bytes]] = []
+        header_bytes = 0
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                raise _ParseError(431, "request headers too large")
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise _ParseError(400, "connection closed inside headers")
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise _ParseError(431, "request headers too large")
+            name, sep, value = line.partition(b":")
+            if not sep:
+                raise _ParseError(400, "malformed header line")
+            headers.append((name.strip().lower(), value.strip()))
+
+        header_map = {name: value for name, value in headers}
+        if b"transfer-encoding" in header_map:
+            raise _ParseError(501, "chunked request bodies are not supported")
+        body = b""
+        if b"content-length" in header_map:
+            try:
+                length = int(header_map[b"content-length"])
+            except ValueError:
+                raise _ParseError(400, "malformed Content-Length")
+            if length < 0:
+                raise _ParseError(400, "malformed Content-Length")
+            if length > MAX_BODY_BYTES:
+                raise _ParseError(413, "request body too large")
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise _ParseError(400, "connection closed inside body")
+        return method, target, version, headers, body
+
+    @staticmethod
+    def _keep_alive(version: str, headers: list[tuple[bytes, bytes]]) -> bool:
+        connection = dict(headers).get(b"connection", b"").lower()
+        if version == "HTTP/1.0":
+            return connection == b"keep-alive"
+        return connection != b"close"
+
+    def _build_scope(
+        self,
+        method: str,
+        target: str,
+        version: str,
+        headers: list[tuple[bytes, bytes]],
+        writer: asyncio.StreamWriter,
+    ) -> dict:
+        raw_path, _, query_string = target.partition("?")
+        peer = writer.get_extra_info("peername")
+        sock = writer.get_extra_info("sockname")
+        return {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": version.split("/")[1],
+            "method": method.upper(),
+            "scheme": "http",
+            "path": unquote(raw_path),
+            "raw_path": raw_path.encode("latin-1"),
+            "query_string": query_string.encode("latin-1"),
+            "root_path": "",
+            "headers": headers,
+            "client": tuple(peer[:2]) if peer else None,
+            "server": tuple(sock[:2]) if sock else None,
+        }
+
+    async def _run_app(
+        self, scope: dict, body: bytes
+    ) -> tuple[int, list[tuple[bytes, bytes]], bytes]:
+        request_messages = [
+            {"type": "http.request", "body": body, "more_body": False},
+            {"type": "http.disconnect"},
+        ]
+        message_iter = iter(request_messages)
+        response: dict[str, Any] = {"status": 500, "headers": [], "body": b""}
+
+        async def receive() -> dict:
+            try:
+                return next(message_iter)
+            except StopIteration:
+                await asyncio.sleep(3600)  # ASGI receive blocks after disconnect
+                raise RuntimeError("unreachable")
+
+        async def send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                response["status"] = message["status"]
+                response["headers"] = list(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                response["body"] += message.get("body", b"")
+
+        await self.app(scope, receive, send)
+        return response["status"], response["headers"], response["body"]
+
+    def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        headers: list[tuple[bytes, bytes]],
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        lines = [f"HTTP/1.1 {status} {_reason(status)}".encode("latin-1")]
+        seen = {name.lower() for name, _ in headers}
+        lines.extend(name + b": " + value for name, value in headers)
+        if b"content-length" not in seen:
+            lines.append(b"content-length: " + str(len(body)).encode("latin-1"))
+        if b"connection" not in seen:
+            lines.append(b"connection: keep-alive" if keep_alive else b"connection: close")
+        writer.write(b"\r\n".join(lines) + b"\r\n\r\n" + body)
+
+    async def _write_error(
+        self, writer: asyncio.StreamWriter, status: int, message: str
+    ) -> None:
+        from repro.api.codec import encode_json
+
+        body = encode_json({"error": "protocol_error", "message": message})
+        self._write_response(
+            writer,
+            status,
+            [(b"content-type", b"application/json; charset=utf-8")],
+            body,
+            keep_alive=False,
+        )
+        try:
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+async def run(app: _ASGIApp, host: str = "127.0.0.1", port: int = 8799) -> None:
+    """Start an :class:`APIServer` and serve until cancelled."""
+    server = APIServer(app, host=host, port=port)
+    await server.start()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.close()

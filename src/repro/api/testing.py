@@ -1,0 +1,127 @@
+"""In-process ASGI test harness for :mod:`repro.api`.
+
+:class:`ASGIClient` drives any ASGI 3.0 application without sockets: it
+builds the same HTTP scope the bundled :class:`~repro.api.server.APIServer`
+would (including percent-decoding the path, so the two transports are
+interchangeable in parity tests), feeds the body through ``receive`` and
+collects the response messages.  Used by the test suite and by the
+``benchmarks/test_api_latency.py`` load generator; it is public API so
+downstream users can test handlers the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+from urllib.parse import unquote
+
+__all__ = ["ASGIClient", "ClientResponse"]
+
+
+class ClientResponse:
+    """Status, headers and body collected from one ASGI request."""
+
+    def __init__(self, status: int, headers: list[tuple[bytes, bytes]], body: bytes):
+        self.status = status
+        self.raw_headers = headers
+        self.headers = {
+            name.decode("latin-1").lower(): value.decode("latin-1")
+            for name, value in headers
+        }
+        self.body = body
+
+    def json(self) -> Any:
+        """The body parsed as JSON."""
+        return json.loads(self.body.decode("utf-8"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ClientResponse(status={self.status}, bytes={len(self.body)})"
+
+
+class ASGIClient:
+    """Socketless client for an ASGI 3.0 app.
+
+    >>> client = ASGIClient(create_app(artifact))        # doctest: +SKIP
+    >>> response = await client.get("/healthz")          # doctest: +SKIP
+    >>> response.json()["status"]                        # doctest: +SKIP
+    'ok'
+    """
+
+    def __init__(
+        self,
+        app,
+        *,
+        client: tuple[str, int] = ("127.0.0.1", 49152),
+        server: tuple[str, int] = ("127.0.0.1", 8799),
+    ):
+        self.app = app
+        self.client = client
+        self.server = server
+
+    async def request(
+        self,
+        method: str,
+        target: str,
+        *,
+        body: bytes | None = None,
+        json_body: Any = None,
+        headers: Mapping[str, str] | None = None,
+    ) -> ClientResponse:
+        """Issue one request against the app and collect its response.
+
+        ``target`` is the request target as it would appear on the wire
+        (path, optionally percent-encoded, plus ``?query``); ``json_body``
+        is encoded with the canonical codec when given.
+        """
+        if json_body is not None:
+            from repro.api.codec import encode_json
+
+            body = encode_json(json_body)
+        payload = body if body is not None else b""
+        raw_path, _, query_string = target.partition("?")
+
+        header_items = [
+            (name.lower().encode("latin-1"), value.encode("latin-1"))
+            for name, value in (headers or {}).items()
+        ]
+        scope = {
+            "type": "http",
+            "asgi": {"version": "3.0", "spec_version": "2.3"},
+            "http_version": "1.1",
+            "method": method.upper(),
+            "scheme": "http",
+            "path": unquote(raw_path),
+            "raw_path": raw_path.encode("latin-1"),
+            "query_string": query_string.encode("latin-1"),
+            "root_path": "",
+            "headers": header_items,
+            "client": self.client,
+            "server": self.server,
+        }
+        messages = iter(
+            [
+                {"type": "http.request", "body": payload, "more_body": False},
+                {"type": "http.disconnect"},
+            ]
+        )
+
+        async def receive() -> dict:
+            return next(messages)
+
+        collected: dict[str, Any] = {"status": 500, "headers": [], "body": b""}
+
+        async def send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                collected["status"] = message["status"]
+                collected["headers"] = list(message.get("headers", []))
+            elif message["type"] == "http.response.body":
+                collected["body"] += message.get("body", b"")
+
+        await self.app(scope, receive, send)
+        return ClientResponse(collected["status"], collected["headers"], collected["body"])
+
+    async def get(self, target: str, **kwargs: Any) -> ClientResponse:
+        return await self.request("GET", target, **kwargs)
+
+    async def post(self, target: str, **kwargs: Any) -> ClientResponse:
+        return await self.request("POST", target, **kwargs)

@@ -20,7 +20,12 @@ core workflow without writing Python:
 * ``repro-truth merge merged/ parts/shard_*`` — recombine per-shard
   artifacts into one servable artifact;
 * ``repro-truth query art/ "Harry Potter"`` — answer truth queries from a
-  saved artifact without re-running inference;
+  saved artifact without re-running inference; ``--json`` emits one
+  canonical-JSON object per result (the :mod:`repro.api` response codec,
+  so CLI and HTTP results are byte-compatible);
+* ``repro-truth serve art/ --port 8799`` — serve an artifact over HTTP
+  through the stdlib ASGI server of :mod:`repro.api` (truth / batch /
+  top-k / score / ingest endpoints, rate limiting, metrics, hot swap);
 * ``repro-truth methods`` — list every registered solver with its metadata;
 * ``repro-truth datasets`` — list every catalog dataset with its metadata.
 """
@@ -155,6 +160,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute value for a point lookup (requires an entity)",
     )
     query.add_argument("--top", type=int, default=10, help="facts to print")
+    query.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one canonical-JSON object per result (machine-readable; "
+        "shares the repro.api response codec)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="serve an artifact over HTTP (stdlib ASGI server, repro.api)"
+    )
+    serve.add_argument("artifact", help="artifact directory written by 'export'")
+    serve.add_argument("--host", default="127.0.0.1", help="interface to bind")
+    serve.add_argument("--port", type=int, default=8799, help="port to bind (0 = ephemeral)")
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="per-client sustained requests/sec (0 disables rate limiting)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=None,
+        help="per-client token-bucket size (default: one second's worth)",
+    )
+    serve.add_argument(
+        "--idempotency-ttl",
+        type=float,
+        default=3600.0,
+        help="seconds an Idempotency-Key replay stays answerable",
+    )
 
     subparsers.add_parser("methods", help="list registered truth methods and their metadata")
     subparsers.add_parser("datasets", help="list catalog datasets and their metadata")
@@ -392,6 +428,7 @@ def _run_merge(args: argparse.Namespace) -> int:
 
 
 def _run_query(args: argparse.Namespace) -> int:
+    """Exit codes (pinned by tests): 0 found, 1 no matching fact, 2 bad input."""
     from repro.serving.service import TruthService
 
     if args.attribute is not None and args.entity is None:
@@ -402,20 +439,35 @@ def _run_query(args: argparse.Namespace) -> int:
     except ArtifactError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    info = service.stats()
-    print(
-        f"artifact {info['name']!r}: method {info['method']}, {info['facts']} facts, "
-        f"{info['entities']} entities, schema v{info['schema_version']}"
-    )
+    as_json = getattr(args, "json", False)
+    if not as_json:
+        info = service.stats()
+        print(
+            f"artifact {info['name']!r}: method {info['method']}, {info['facts']} facts, "
+            f"{info['entities']} entities, schema v{info['schema_version']}"
+        )
     threshold = service.artifact.config.threshold
+
+    def emit(entity: str, attribute: str, score: float, with_verdict: bool = True) -> None:
+        if as_json:
+            # One canonical-JSON object per line — the same fact encoding the
+            # repro.api HTTP endpoints serve (codec shared via fact_row).
+            from repro.api.codec import canonical_json, fact_row
+
+            print(canonical_json(fact_row(entity, attribute, score, threshold)))
+        elif with_verdict:
+            verdict = "accepted" if score >= threshold else "rejected"
+            print(f"{entity}\t{attribute}\t{score:.4f}\t{verdict}")
+        else:
+            print(f"{entity}\t{attribute}\t{score:.4f}")
+
     if args.attribute is not None:
         try:
             score = service.truth_of(args.entity, args.attribute)
         except KeyError:
             print(f"no stored fact ({args.entity!r}, {args.attribute!r})", file=sys.stderr)
             return 1
-        verdict = "accepted" if score >= threshold else "rejected"
-        print(f"{args.entity}\t{args.attribute}\t{score:.4f}\t{verdict}")
+        emit(args.entity, args.attribute, score)
         return 0
     if args.entity is not None:
         ranked = service.lookup(args.entity)
@@ -423,11 +475,60 @@ def _run_query(args: argparse.Namespace) -> int:
             print(f"no stored facts for entity {args.entity!r}", file=sys.stderr)
             return 1
         for attribute, score in ranked[: args.top]:
-            verdict = "accepted" if score >= threshold else "rejected"
-            print(f"{args.entity}\t{attribute}\t{score:.4f}\t{verdict}")
+            emit(args.entity, attribute, score)
         return 0
     for entity, attribute, score in service.top_k(args.top):
-        print(f"{entity}\t{attribute}\t{score:.4f}")
+        emit(entity, attribute, score, with_verdict=False)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Serve an artifact over HTTP with the bundled stdlib ASGI server."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.api import create_app
+    from repro.api.server import APIServer
+
+    try:
+        app = create_app(
+            args.artifact,
+            rate=args.rate if args.rate > 0 else None,
+            burst=args.burst,
+            idempotency_ttl=args.idempotency_ttl,
+        )
+    except (ArtifactError, ConfigurationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        server = APIServer(app, host=args.host, port=args.port)
+        await server.start()
+        info = app.service.artifact.summary()
+        print(
+            f"serving artifact {info['name']!r} (method {info['method']}, "
+            f"{info['facts']} facts) on http://{args.host}:{server.port}",
+            flush=True,
+        )
+        print(
+            "endpoints: /truth/{entity} /batch /top-k /score /ingest /refresh "
+            "/healthz /metrics",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.close()
+
+    # SIGTERM shuts down as cleanly as Ctrl-C: supervisors (and the CI smoke
+    # test) stop the server with `kill -TERM` and expect exit code 0.
+    with contextlib.suppress(ValueError):  # not the main thread
+        signal.signal(signal.SIGTERM, signal.default_int_handler)
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -525,6 +626,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_merge(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "methods":
         return _run_methods(args)
     if args.command == "datasets":

@@ -30,6 +30,13 @@ merged artifact with identical query semantics, and per-shard artifacts
 (:meth:`~repro.engine.TruthEngine.shard_artifacts`) recombine with
 :func:`repro.parallel.merge_artifacts` into an artifact this service loads
 like any other.
+
+To serve this layer over the network, front it with :mod:`repro.api` — a
+dependency-free ASGI application (``repro.api.create_app``, CLI:
+``repro-truth serve``) exposing the point / batch / top-k / score paths as
+HTTP endpoints, with rate limiting, idempotent ingest and metrics; its
+hot-swap endpoints republish through :meth:`TruthService.refresh` and take
+multi-read-consistent views via :meth:`TruthService.snapshot`.
 """
 
 from __future__ import annotations
@@ -94,6 +101,26 @@ class _Snapshot:
 
         self.entity_top = entity_top
 
+    def top(self, k: int, entity: str | None = None) -> list[tuple[str, str, float]]:
+        """The ``k`` highest-scored facts of *this* snapshot (see ``top_k``)."""
+        if entity is not None:
+            name = str(entity)
+            return [(name, attr, score) for attr, score in self.entity_top(name)[:k]]
+        artifact = self.artifact
+        k = min(int(k), artifact.num_facts)
+        if k <= 0:
+            return []
+        order = np.argpartition(-artifact.fact_score, k - 1)[:k]
+        order = order[np.argsort(-artifact.fact_score[order], kind="stable")]
+        return [
+            (
+                str(artifact.fact_entity[i]),
+                str(artifact.fact_attribute[i]),
+                float(artifact.fact_score[i]),
+            )
+            for i in order
+        ]
+
     @staticmethod
     def _resolved_priors(artifact: TruthArtifact) -> LTMPriors:
         priors = artifact.config.params.get("priors")
@@ -148,6 +175,18 @@ class TruthService:
     def artifact(self) -> TruthArtifact:
         """The artifact currently being served."""
         return self._snapshot.artifact
+
+    def snapshot(self) -> _Snapshot:
+        """An atomic read view of the currently served state.
+
+        Every attribute of the returned object — ``artifact``, ``scores``,
+        ``entity_top``, ``top`` — belongs to *one* published snapshot, so a
+        caller making several reads (a score *and* the threshold that
+        judges it, say) sees a consistent state even if a concurrent
+        :meth:`refresh` swaps the service mid-sequence.  This is the seam
+        the :mod:`repro.api` HTTP tier reads through.
+        """
+        return self._snapshot
 
     def refresh(self, artifact: TruthArtifact | str | Path) -> "TruthService":
         """Atomically swap in a new artifact (copy-on-write snapshot).
@@ -208,24 +247,7 @@ class TruthService:
         Returns ``(entity, attribute, score)`` tuples in decreasing score
         order.  Entity-scoped queries hit the per-snapshot LRU cache.
         """
-        snapshot = self._snapshot
-        if entity is not None:
-            name = str(entity)
-            return [(name, attr, score) for attr, score in snapshot.entity_top(name)[:k]]
-        artifact = snapshot.artifact
-        k = min(int(k), artifact.num_facts)
-        if k <= 0:
-            return []
-        order = np.argpartition(-artifact.fact_score, k - 1)[:k]
-        order = order[np.argsort(-artifact.fact_score[order], kind="stable")]
-        return [
-            (
-                str(artifact.fact_entity[i]),
-                str(artifact.fact_attribute[i]),
-                float(artifact.fact_score[i]),
-            )
-            for i in order
-        ]
+        return self._snapshot.top(k, entity)
 
     def merged_records(self, threshold: float | None = None) -> dict[str, list[str]]:
         """Entity -> accepted attribute values at ``threshold``.

@@ -1,0 +1,311 @@
+"""Tests for the bundled stdlib HTTP/1.1 server and the CLI surfaces.
+
+The app itself is covered in ``tests/test_api.py``; here we pin the
+*transport* contract: the :class:`~repro.api.APIServer` speaks real HTTP over
+a socket, serves byte-identical bodies to the in-process
+:class:`~repro.api.ASGIClient` harness, honours keep-alive, and rejects
+malformed requests with protocol errors instead of crashing.  The CLI side
+pins ``repro-truth query --json`` (shared codec, exit codes 0/1/2) and a
+full ``repro-truth serve`` subprocess round-trip with clean SIGINT shutdown.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import ASGIClient, APIServer, canonical_json, create_app, fact_row
+from repro.cli import main
+from repro.engine import TruthEngine
+
+ENTITY = "Harry Potter"
+QUOTED = "Harry%20Potter"
+
+
+@pytest.fixture(scope="module")
+def artifact_path(tmp_path_factory) -> Path:
+    engine = TruthEngine(method="ltm", iterations=30, seed=7).fit("paper_example")
+    artifact = engine.to_artifact(name="server-test")
+    return artifact.save(tmp_path_factory.mktemp("artifact") / "server-test")
+
+
+def raw_request(
+    port: int,
+    request: bytes,
+    *,
+    host: str = "127.0.0.1",
+    responses: int = 1,
+) -> list[tuple[int, dict[str, str], bytes]]:
+    """Send raw bytes to the server, parse ``responses`` HTTP responses back."""
+
+    async def go():
+        reader, writer = await asyncio.open_connection(host, port)
+        writer.write(request)
+        await writer.drain()
+        out = []
+        for _ in range(responses):
+            status_line = await reader.readline()
+            if not status_line:
+                break
+            status = int(status_line.split(b" ")[1])
+            headers: dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            body = await reader.readexactly(int(headers.get("content-length", "0")))
+            out.append((status, headers, body))
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        return out
+
+    return asyncio.run(go())
+
+
+def with_server(artifact_path, fn, **app_options):
+    """Run ``fn(port)`` against a live bundled server (sync callable)."""
+    app_options.setdefault("rate", None)
+
+    async def go():
+        app = create_app(str(artifact_path), **app_options)
+        server = APIServer(app, port=0)
+        await server.start()
+        try:
+            return await asyncio.to_thread(fn, server.port)
+        finally:
+            await server.close()
+
+    return asyncio.run(go())
+
+
+def simple_get(port: int, target: str, extra: str = "") -> tuple[int, dict[str, str], bytes]:
+    request = f"GET {target} HTTP/1.1\r\nhost: x\r\n{extra}\r\n".encode()
+    return raw_request(port, request)[0]
+
+
+class TestBundledServer:
+    def test_serves_all_endpoints(self, artifact_path):
+        def check(port):
+            results = {}
+            for target in (f"/truth/{QUOTED}", "/top-k?k=3", "/healthz", "/metrics"):
+                results[target] = simple_get(port, target)
+            body = json.dumps({"pairs": [[ENTITY, "Daniel Radcliffe"]]}).encode()
+            request = (
+                b"POST /batch HTTP/1.1\r\nhost: x\r\ncontent-type: application/json\r\n"
+                + b"content-length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+            )
+            results["/batch"] = raw_request(port, request)[0]
+            return results
+
+        results = with_server(artifact_path, check)
+        for target, (status, headers, body) in results.items():
+            assert status == 200, target
+            assert body, target
+        assert json.loads(results["/batch"][2])["count"] == 1
+        assert b"repro_api_requests_total" in results["/metrics"][2]
+
+    def test_byte_parity_with_asgi_harness(self, artifact_path):
+        """The same request yields byte-identical bodies on both transports."""
+        targets = [
+            f"/truth/{QUOTED}",
+            f"/truth/{QUOTED}?attribute=Daniel%20Radcliffe",
+            "/top-k?k=4",
+            "/truth/Nobody",  # error bodies must match too
+            "/healthz",
+        ]
+
+        def over_http(port):
+            return [simple_get(port, t, "x-request-id: pin\r\n") for t in targets]
+
+        http_responses = with_server(artifact_path, over_http)
+
+        app = create_app(str(artifact_path), rate=None)
+        client = ASGIClient(app)
+        for target, (status, headers, body) in zip(targets, http_responses):
+            local = asyncio.run(client.get(target, headers={"X-Request-Id": "pin"}))
+            assert local.status == status, target
+            assert local.headers["content-type"] == headers["content-type"], target
+            assert local.body == body, target
+
+    def test_keep_alive_reuses_connection(self, artifact_path):
+        def check(port):
+            request = (
+                b"GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n"
+                b"GET /healthz HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n"
+            )
+            return raw_request(port, request, responses=2)
+
+        first, second = with_server(artifact_path, check)
+        assert first[0] == 200 and second[0] == 200
+        assert first[1]["connection"] == "keep-alive"
+        assert second[1]["connection"] == "close"
+
+    def test_http10_closes_by_default(self, artifact_path):
+        def check(port):
+            return raw_request(port, b"GET /healthz HTTP/1.0\r\n\r\n")[0]
+
+        status, headers, _ = with_server(artifact_path, check)
+        assert status == 200
+        assert headers["connection"] == "close"
+
+    def test_malformed_request_line_400(self, artifact_path):
+        def check(port):
+            return raw_request(port, b"NONSENSE\r\n\r\n")[0]
+
+        status, _, body = with_server(artifact_path, check)
+        assert status == 400
+        assert json.loads(body)["error"] == "protocol_error"
+
+    def test_unsupported_version_505(self, artifact_path):
+        def check(port):
+            return raw_request(port, b"GET / HTTP/2.0\r\n\r\n")[0]
+
+        assert with_server(artifact_path, check)[0] == 505
+
+    def test_chunked_body_501(self, artifact_path):
+        def check(port):
+            request = (
+                b"POST /batch HTTP/1.1\r\nhost: x\r\n"
+                b"transfer-encoding: chunked\r\n\r\n"
+            )
+            return raw_request(port, request)[0]
+
+        assert with_server(artifact_path, check)[0] == 501
+
+    def test_bad_content_length_400(self, artifact_path):
+        def check(port):
+            request = b"POST /batch HTTP/1.1\r\nhost: x\r\ncontent-length: nope\r\n\r\n"
+            return raw_request(port, request)[0]
+
+        assert with_server(artifact_path, check)[0] == 400
+
+    def test_rate_limit_over_http(self, artifact_path):
+        def check(port):
+            return [simple_get(port, "/top-k")[0] for _ in range(4)]
+
+        statuses = with_server(artifact_path, check, rate=0.001, burst=2)
+        assert statuses[:2] == [200, 200]
+        assert statuses[2] == statuses[3] == 429
+
+    def test_port_zero_binds_ephemeral(self, artifact_path):
+        async def go():
+            server = APIServer(create_app(str(artifact_path), rate=None), port=0)
+            await server.start()
+            try:
+                return server.port
+            finally:
+                await server.close()
+
+        assert asyncio.run(go()) > 0
+
+
+class TestQueryJson:
+    """Exit codes pinned: 0 found, 1 no matching fact, 2 bad input."""
+
+    def test_point_lookup_matches_api_codec(self, artifact_path, capsys):
+        code = main(
+            ["query", str(artifact_path), ENTITY, "--attribute", "Daniel Radcliffe", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        # Byte-compatible with the API: same codec, same key order.
+        assert lines[0] == canonical_json(
+            fact_row(ENTITY, "Daniel Radcliffe", payload["score"], threshold=0.5)
+        )
+        assert payload["accepted"] is True
+
+    def test_entity_listing_one_object_per_line(self, artifact_path, capsys):
+        code = main(["query", str(artifact_path), ENTITY, "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        rows = [json.loads(line) for line in out.strip().splitlines()]
+        assert len(rows) == 4
+        assert all(set(row) == {"entity", "attribute", "score", "accepted"} for row in rows)
+        scores = [row["score"] for row in rows]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_json_suppresses_header_line(self, artifact_path, capsys):
+        main(["query", str(artifact_path), ENTITY, "--json"])
+        out = capsys.readouterr().out
+        assert "artifact" not in out  # no human header in machine mode
+
+    def test_global_top_k_json(self, artifact_path, capsys):
+        code = main(["query", str(artifact_path), "--top", "3", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert len(out.strip().splitlines()) == 3
+
+    def test_exit_1_when_fact_missing(self, artifact_path, capsys):
+        assert main(["query", str(artifact_path), "Nobody", "--json"]) == 1
+        assert main(
+            ["query", str(artifact_path), ENTITY, "--attribute", "Nobody", "--json"]
+        ) == 1
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_exit_2_on_bad_input(self, tmp_path, artifact_path, capsys):
+        assert main(["query", str(tmp_path / "missing"), ENTITY, "--json"]) == 2
+        assert main(["query", str(artifact_path), "--attribute", "x", "--json"]) == 2
+
+    def test_matches_http_truth_endpoint(self, artifact_path, capsys):
+        """CLI --json lines equal the fact objects the HTTP endpoint serves."""
+        main(["query", str(artifact_path), ENTITY, "--json"])
+        cli_rows = capsys.readouterr().out.strip().splitlines()
+
+        app = create_app(str(artifact_path), rate=None)
+        response = asyncio.run(ASGIClient(app).get(f"/truth/{QUOTED}"))
+        api_rows = [canonical_json(fact) for fact in response.json()["facts"]]
+        assert cli_rows == api_rows
+
+
+class TestServeCommand:
+    def test_serve_subprocess_round_trip(self, artifact_path):
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(artifact_path), "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "serving artifact 'server-test'" in banner
+            port = int(banner.rstrip().rsplit(":", 1)[1])
+            assert "endpoints:" in proc.stdout.readline()
+
+            deadline = time.monotonic() + 10.0
+            status, _, body = simple_get(port, "/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            status, _, body = simple_get(port, f"/truth/{QUOTED}")
+            assert status == 200
+
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=max(1.0, deadline - time.monotonic())) == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=5)
+
+    def test_serve_exit_2_on_missing_artifact(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope"), "--port", "0"]) == 2
+        assert "error" in capsys.readouterr().err
