@@ -15,12 +15,21 @@ This benchmark measures both at 100 000 triples on a conflict-heavy workload
 paper's movie feed lives in, where negative-claim generation dominates),
 asserts the bulk path is at least 5x faster, and records triples/sec under
 ``benchmarks/results/``.
+
+The **out-of-core row** (ISSUE 7) extends the same report: a 1M-triple
+corpus is streamed from a generator into a :class:`~repro.store.ClaimStore`
+(never materialised), then fitted through the engine's streaming LTMinc path
+over a :class:`~repro.io.StoreSource` with ``retain_history=False`` — peak
+traced memory of the fit loop must stay bounded by the batch size, orders of
+magnitude under the corpus.
 """
 
 from __future__ import annotations
 
 import gc
+import resource
 import time
+import tracemalloc
 
 import numpy as np
 
@@ -35,6 +44,13 @@ ATTRS_PER_ENTITY = 10
 ASSERTED_PER_SOURCE = 2
 REPEATS = 3
 MIN_SPEEDUP = 5.0
+
+# Out-of-core workload: 100k entities x 10 triples = 1M triples.
+OOC_ENTITIES = 100_000
+OOC_TRIPLES_PER_ENTITY = 10
+OOC_BATCH_ENTITIES = 10_000
+OOC_BOOTSTRAP_ENTITIES = 1_000
+OOC_PEAK_CAP_MB = 256.0
 
 
 def _make_triples() -> list[tuple[str, str, str]]:
@@ -110,3 +126,95 @@ def test_ingest_throughput(results_dir):
         f"bulk ingest only {speedup:.1f}x faster than per-triple "
         f"({per_triple_s:.3f}s vs {bulk_s:.3f}s)"
     )
+
+
+def _ooc_stream():
+    """A 1M-triple generator: 5 reliable and 5 unreliable sources per entity."""
+    for e in range(OOC_ENTITIES):
+        entity = f"entity_{e:06d}"
+        for s in range(5):
+            yield (entity, f"true_{e}", f"good_{s}")
+        for s in range(5):
+            yield (entity, f"junk_{e}", f"bad_{s}")
+
+
+def test_out_of_core_store_throughput(results_dir, tmp_path):
+    """1M triples: generator -> ClaimStore -> streaming LTMinc fit, bounded RAM."""
+    from repro.engine import EngineConfig, TruthEngine
+    from repro.io import StoreSource
+    from repro.store import ClaimStore
+
+    path = tmp_path / "claims.db"
+    num_triples = OOC_ENTITIES * OOC_TRIPLES_PER_ENTITY
+
+    start = time.perf_counter()
+    with ClaimStore(path) as store:
+        appended = store.append(_ooc_stream())
+    ingest_s = time.perf_counter() - start
+    assert appended == num_triples
+
+    # Bootstrap source quality on a small prefix (full Gibbs fit), then
+    # stream the whole corpus through the closed-form LTMinc scorer.
+    # retain_history=False: the corpus's history IS the store.
+    engine = TruthEngine(
+        EngineConfig(
+            method="ltm",
+            params={"iterations": 10, "seed": 7},
+            retrain_every=0,
+            retain_history=False,
+        )
+    )
+    with StoreSource(path) as source:
+        bootstrap = source.entity_triples(
+            [f"entity_{e:06d}" for e in range(OOC_BOOTSTRAP_ENTITIES)]
+        )
+        engine.fit(bootstrap)
+        history_after_bootstrap = len(engine._history)
+
+        tracemalloc.start()
+        start = time.perf_counter()
+        num_batches = 0
+        for batch in source.iter_batches(OOC_BATCH_ENTITIES, by_entity=True):
+            engine.partial_fit(batch)
+            num_batches += 1
+        fit_s = time.perf_counter() - start
+        _, peak_bytes = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+
+    # The engine must not have accumulated the stream: its history is still
+    # just the bootstrap window, and the fit loop's peak memory is batch-
+    # sized, not corpus-sized.
+    assert len(engine._history) == history_after_bootstrap
+    assert len(engine.fact_scores) == 2 * OOC_ENTITIES
+    peak_mb = peak_bytes / 2**20
+    assert peak_mb < OOC_PEAK_CAP_MB, (
+        f"streaming fit peaked at {peak_mb:.0f} MiB; "
+        f"out-of-core bound is {OOC_PEAK_CAP_MB:.0f} MiB"
+    )
+
+    ingest_tps = num_triples / ingest_s
+    fit_tps = num_triples / fit_s
+    rss_mb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    store_mb = path.stat().st_size / 2**20
+
+    lines = [
+        "",
+        "E10b  Out-of-core ingest + streaming fit (ISSUE 7)",
+        "",
+        f"workload: {num_triples:,} triples, {OOC_ENTITIES:,} entities, "
+        f"10 sources; store file {store_mb:.0f} MiB",
+        f"stream:   {OOC_BATCH_ENTITIES:,} entities/batch "
+        f"({num_batches} batches), LTMinc scoring, retain_history=False",
+        "",
+        f"{'stage':24s}  {'seconds':>9s}  {'triples/sec':>12s}",
+        f"{'-' * 24}  {'-' * 9}  {'-' * 12}",
+        f"{'generator -> ClaimStore':24s}  {ingest_s:9.3f}  {ingest_tps:12,.0f}",
+        f"{'StoreSource -> LTMinc':24s}  {fit_s:9.3f}  {fit_tps:12,.0f}",
+        "",
+        f"peak traced memory of the fit loop: {peak_mb:.1f} MiB "
+        f"(bound {OOC_PEAK_CAP_MB:.0f} MiB); process peak RSS {rss_mb:.0f} MiB",
+        "",
+    ]
+    report_path = results_dir / "ingest_throughput.txt"
+    existing = report_path.read_text(encoding="utf-8") if report_path.exists() else ""
+    write_result(results_dir, "ingest_throughput.txt", existing + "\n".join(lines))

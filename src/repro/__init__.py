@@ -37,7 +37,14 @@ fits shards on serial / thread / process backends
 parity — enabled per engine through
 :class:`~repro.engine.ExecutionConfig`, e.g.
 ``TruthEngine(method="ltm", execution={"num_shards": 4, "backend":
-"processes"})``.  The PR-1-era deprecation shims (``IntegrationPipeline``,
+"processes"})``.  On the storage side, :mod:`repro.store` adds an
+out-of-core tier: corpora that don't fit in RAM live in an append-only,
+schema-versioned :class:`~repro.store.ClaimStore` (bundled SQLite behind a
+pluggable :class:`~repro.store.StorageBackend`) and stream through ``fit``,
+``partial_fit`` and the shard planner via
+:class:`~repro.io.StoreSource` (``as_source("store://claims.db")``, CLI:
+``repro-truth store load|stats|compact``) without ever materialising.
+The PR-1-era deprecation shims (``IntegrationPipeline``,
 ``OnlineTruthFinder``, ``repro.baselines.registry``) were removed in 1.4
 after their two-PR deprecation window.
 
@@ -121,11 +128,13 @@ from repro.io import (
     DatasetCatalog,
     DatasetSpec,
     SourceSchema,
+    StoreSource,
     as_source,
     default_catalog,
     entity_partition_key,
     register_dataset,
 )
+from repro.store import ClaimStore
 from repro.parallel import (
     MergedFit,
     ParallelExecutor,
@@ -136,7 +145,7 @@ from repro.parallel import (
 from repro.serving import TruthArtifact, TruthService, load_artifact, serve
 from repro.api import APIServer, ASGIClient, TruthAPI, create_app
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -159,6 +168,9 @@ __all__ = [
     "default_catalog",
     "entity_partition_key",
     "register_dataset",
+    # out-of-core claim storage (canonical disk tier)
+    "ClaimStore",
+    "StoreSource",
     # sharded parallel execution (canonical scale-out API)
     "ShardPlanner",
     "ShardPlan",

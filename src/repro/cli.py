@@ -26,6 +26,11 @@ core workflow without writing Python:
 * ``repro-truth serve art/ --port 8799`` — serve an artifact over HTTP
   through the stdlib ASGI server of :mod:`repro.api` (truth / batch /
   top-k / score / ingest endpoints, rate limiting, metrics, hot swap);
+* ``repro-truth store load in.tsv claims.db`` — stream a triple file into
+  an on-disk claim store (:mod:`repro.store`) without materialising it;
+  ``store stats`` prints its counters, ``store compact`` evicts old
+  generations, and ``--source store://claims.db`` integrates it
+  out-of-core;
 * ``repro-truth methods`` — list every registered solver with its metadata;
 * ``repro-truth datasets`` — list every catalog dataset with its metadata.
 """
@@ -47,6 +52,7 @@ from repro.exceptions import (
     ConfigurationError,
     DataModelError,
     EmptyDatasetError,
+    StoreError,
 )
 from repro.io.catalog import as_source, default_catalog
 from repro.pipeline.report import (
@@ -192,6 +198,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds an Idempotency-Key replay stays answerable",
     )
 
+    store = subparsers.add_parser(
+        "store", help="manage on-disk claim stores (repro.store, out-of-core corpora)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_load = store_sub.add_parser(
+        "load", help="stream a triple file into a claim store (append-only)"
+    )
+    store_load.add_argument("input", help="triple TSV with header entity/attribute/source")
+    store_load.add_argument("store", help="claim-store path (created when missing)")
+    store_load.add_argument(
+        "--batch-size",
+        type=int,
+        default=10_000,
+        help="rows per ingest batch (bounds loader memory)",
+    )
+    store_stats = store_sub.add_parser("stats", help="print a claim store's counters")
+    store_stats.add_argument("store", help="claim-store path")
+    store_compact = store_sub.add_parser(
+        "compact", help="evict old generations or time windows, then vacuum"
+    )
+    store_compact.add_argument("store", help="claim-store path")
+    store_compact.add_argument(
+        "--keep-last",
+        type=int,
+        default=None,
+        help="keep only the N most recent ingest generations",
+    )
+    store_compact.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        help="drop rows ingested before this UNIX timestamp",
+    )
+
     subparsers.add_parser("methods", help="list registered truth methods and their metadata")
     subparsers.add_parser("datasets", help="list catalog datasets and their metadata")
     return parser
@@ -311,7 +351,7 @@ def _run_integrate(args: argparse.Namespace) -> int:
             )
         else:
             result = discover(source, method=args.method, threshold=args.threshold, **params)
-    except (ConfigurationError, DataModelError, EmptyDatasetError, TypeError) as exc:
+    except (ConfigurationError, DataModelError, EmptyDatasetError, StoreError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -394,7 +434,7 @@ def _run_export(args: argparse.Namespace) -> int:
             for shard in engine.shard_artifacts(name=args.name):
                 index = shard.extras["shard"]["index"]
                 shard_paths.append(shard.save(shard_root / f"shard_{index:02d}"))
-    except (ArtifactError, ConfigurationError, DataModelError, EmptyDatasetError) as exc:
+    except (ArtifactError, ConfigurationError, DataModelError, EmptyDatasetError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     info = artifact.summary()
@@ -532,6 +572,63 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_store(args: argparse.Namespace) -> int:
+    """The ``store load | stats | compact`` out-of-core subcommands."""
+    from repro.data.loaders import iter_triples_csv
+    from repro.store import ClaimStore
+
+    try:
+        if args.store_command == "load":
+            # iter_triples_csv streams, ClaimStore.append batches: the load
+            # holds at most --batch-size rows in memory at once.
+            with ClaimStore(args.store) as store:
+                count = store.append(
+                    iter_triples_csv(args.input), batch_size=args.batch_size
+                )
+                info = store.stats()
+            print(
+                f"loaded {count} triples from {args.input} into {args.store} "
+                f"(generation {info['generations']}; now {info['triples']} triples, "
+                f"{info['entities']} entities, {info['sources']} sources)"
+            )
+            return 0
+        if args.store_command == "stats":
+            with ClaimStore(args.store, read_only=True) as store:
+                info = dict(store.stats())
+                generations = store.generations()
+            print(
+                f"claim store {info['path']} (schema v{info['schema_version']}): "
+                f"{info['triples']} triples, {info['entities']} entities, "
+                f"{info['sources']} sources, {info['generations']} generation(s)"
+            )
+            if generations:
+                rows = [
+                    (str(g["generation"]), str(g["rows"]), f"{g['ingested_at']:.0f}")
+                    for g in generations
+                ]
+                print(_format_table(("generation", "rows", "ingested_at"), rows))
+            return 0
+        if args.keep_last is None and args.older_than is None:
+            print(
+                "error: store compact needs --keep-last and/or --older-than",
+                file=sys.stderr,
+            )
+            return 2
+        with ClaimStore(args.store) as store:
+            deleted = store.compact(
+                keep_last=args.keep_last, older_than=args.older_than
+            )
+            info = store.stats()
+        print(
+            f"evicted {deleted} triples from {args.store}; "
+            f"{info['triples']} triples across {info['entities']} entities remain"
+        )
+        return 0
+    except (DataModelError, StoreError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _run_compare(args: argparse.Namespace) -> int:
     raw = load_triples_csv(args.input)
     labels = load_labels_csv(args.labels)
@@ -591,12 +688,13 @@ def format_dataset_table() -> str:
             spec.key,
             spec.kind,
             "yes" if spec.has_labels else "no",
+            "yes" if spec.streams else "no",
             ", ".join(spec.aliases) if spec.aliases else "-",
             spec.summary,
         )
         for spec in default_catalog().specs()
     ]
-    header = ("dataset", "kind", "labels", "aliases", "description")
+    header = ("dataset", "kind", "labels", "streaming", "aliases", "description")
     return _format_table(header, rows)
 
 
@@ -628,6 +726,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_query(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "store":
+        return _run_store(args)
     if args.command == "methods":
         return _run_methods(args)
     if args.command == "datasets":

@@ -17,7 +17,7 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -28,6 +28,7 @@ from repro.exceptions import DataModelError
 from repro.types import Triple
 
 __all__ = [
+    "iter_triples_csv",
     "load_triples_csv",
     "save_triples_csv",
     "load_labels_csv",
@@ -77,11 +78,18 @@ def save_triples_csv(triples: Iterable[Triple] | RawDatabase, path: str | Path, 
     return count
 
 
-def load_triples_csv(path: str | Path, delimiter: str = "\t", strict: bool = False) -> RawDatabase:
-    """Read a delimited triple file (with header) into a :class:`RawDatabase`."""
+def iter_triples_csv(path: str | Path, delimiter: str = "\t") -> Iterator[Triple]:
+    """Stream a delimited triple file (with header) one row at a time.
+
+    This is the out-of-core read path :class:`~repro.io.sources.TripleFileSource`
+    is built on: the file is validated (header, per-row arity) exactly like
+    :func:`load_triples_csv`, but rows are yielded as they are read — peak
+    memory is one row, regardless of file size.  Unlike the eager loader,
+    duplicate rows are *not* collapsed here; claim-matrix construction
+    deduplicates downstream.
+    """
     path = Path(path)
     _check_delimiter(delimiter)
-    raw = RawDatabase(strict=strict)
     with path.open("r", newline="", encoding="utf-8") as handle:
         reader = csv.reader(handle, delimiter=delimiter, **_CSV_DIALECT)
         header = next(reader, None)
@@ -95,7 +103,14 @@ def load_triples_csv(path: str | Path, delimiter: str = "\t", strict: bool = Fal
                 continue
             if len(row) != 3:
                 raise DataModelError(f"{path}:{line_no}: expected 3 columns, got {len(row)}")
-            raw.add(Triple(row[0], row[1], row[2]))
+            yield Triple(row[0], row[1], row[2])
+
+
+def load_triples_csv(path: str | Path, delimiter: str = "\t", strict: bool = False) -> RawDatabase:
+    """Read a delimited triple file (with header) into a :class:`RawDatabase`."""
+    raw = RawDatabase(strict=strict)
+    for triple in iter_triples_csv(path, delimiter=delimiter):
+        raw.add(triple)
     return raw
 
 

@@ -133,6 +133,17 @@ class EngineConfig:
         Streaming only: publish an artifact after every ``export_every``
         :meth:`~repro.engine.TruthEngine.partial_fit` steps (default 1:
         every step).
+    retain_history:
+        Streaming only: when true (default) the engine accumulates every
+        triple it has seen, so cumulative re-fits and
+        :meth:`~repro.engine.TruthEngine.to_dataset` cover the full stream.
+        Set false for out-of-core streams whose history lives elsewhere
+        (e.g. a :class:`~repro.store.claims.ClaimStore` the engine reads
+        through a :class:`~repro.io.store_source.StoreSource`): the engine
+        then holds only the current re-train window, bounding its memory by
+        batch size.  Incompatible with cumulative periodic re-training
+        (``cumulative=True`` with ``retrain_every > 0``), which by
+        definition needs the full history in reach.
     execution:
         The :class:`ExecutionConfig` governing sharded parallel execution
         (defaults to single-shard serial).  A plain dict is accepted and
@@ -146,6 +157,7 @@ class EngineConfig:
     cumulative: bool = True
     export_dir: str | None = None
     export_every: int = 1
+    retain_history: bool = True
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
@@ -163,6 +175,12 @@ class EngineConfig:
             raise ConfigurationError("retrain_every must be non-negative")
         if self.export_every < 1:
             raise ConfigurationError("export_every must be at least 1")
+        if not self.retain_history and self.cumulative and self.retrain_every:
+            raise ConfigurationError(
+                "retain_history=False cannot support cumulative periodic "
+                "re-training; set cumulative=False (windowed re-fits) or "
+                "retrain_every=0 (no re-training)"
+            )
         object.__setattr__(self, "params", dict(self.params))
 
     # -- construction ---------------------------------------------------------------

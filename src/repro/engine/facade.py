@@ -62,7 +62,13 @@ from repro.data.raw import RawDatabase
 from repro.store.table import Table
 from repro.engine.config import EngineConfig
 from repro.engine.registry import MethodRegistry, default_registry
-from repro.exceptions import ConfigurationError, ModelError, NotFittedError, StreamError
+from repro.exceptions import (
+    ConfigurationError,
+    EmptyDatasetError,
+    ModelError,
+    NotFittedError,
+    StreamError,
+)
 from repro.streaming.stream import ClaimBatch
 from repro.types import Triple
 
@@ -199,6 +205,7 @@ class TruthEngine:
                 )
 
         self._history = RawDatabase(strict=False)
+        self._history_source: "DataSource | None" = None
         self._since_last_fit = RawDatabase(strict=False)
         self._batches_since_fit = 0
         self._steps_completed = 0
@@ -374,21 +381,46 @@ class TruthEngine:
             (``config.execution.num_shards > 1``) requires triple / source
             input.
 
+            A *streaming* source (one whose
+            :attr:`~repro.io.base.DataSource.streams` is true — file sources,
+            the store-backed :class:`~repro.io.store_source.StoreSource`) is
+            **not copied into the engine**: the source itself becomes the
+            history, the claim matrix is built from one streaming pass, and
+            sharded execution plans store-backed sources by entity-key
+            ranges (:meth:`~repro.parallel.ShardPlanner.plan_keys`) so the
+            corpus never materialises engine-side.
+
         Returns
         -------
         TruthEngine
             ``self``, sklearn-style, so calls chain.
         """
+        source: "DataSource | None" = None
         if _is_source_like(data):
-            data = _source_triples(data)
-        corpus: RawDatabase | None
-        if isinstance(data, ClaimMatrix):
+            from repro.io.catalog import as_source
+
+            resolved = as_source(data)
+            if getattr(resolved, "streams", False):
+                source = resolved
+            else:
+                data = resolved.iter_triples()
+        corpus: Any
+        if source is not None:
+            # Out-of-core fit: the source *is* the history — no engine-side
+            # copy of the triples, only the (columnar) claim matrix.
+            self._reset_state()
+            self._history_source = source
+            if next(iter(source.iter_triples()), None) is None:
+                raise EmptyDatasetError("the data source contains no triples")
+            claims = source.to_claim_matrix()
+            corpus = source
+        elif isinstance(data, ClaimMatrix):
             self._reset_state()
             claims = data
             corpus = None
         else:
             if data is None:
-                corpus = self._history
+                corpus = self._combined_history()
             else:
                 self._reset_state()
                 self._history.extend(data)
@@ -410,6 +442,21 @@ class TruthEngine:
         self._absorb_fit(claims, result)
         return self
 
+    def _combined_history(self) -> RawDatabase:
+        """Everything seen so far: the fitted source (if any) plus batches.
+
+        When the engine was fitted on a streaming source, cumulative
+        operations need the source's triples *and* those streamed since; the
+        combination is materialised only here, where a full-corpus fit (which
+        materialises a claim matrix anyway) explicitly asked for it.
+        """
+        if self._history_source is None:
+            return self._history
+        combined = RawDatabase(strict=False)
+        combined.extend(self._history_source.iter_triples())
+        combined.extend(self._history)
+        return combined
+
     def _reject_sharded_solver_instance(self) -> None:
         """Sharding never silently degrades: a prebuilt solver cannot shard.
 
@@ -426,7 +473,7 @@ class TruthEngine:
     def _parallel_fit(
         self,
         claims: ClaimMatrix,
-        corpus: RawDatabase,
+        corpus: "RawDatabase | DataSource",
         priors_override: LTMPriors | None = None,
     ) -> TruthResult:
         """Fit through :mod:`repro.parallel` and realign onto ``claims``.
@@ -439,6 +486,13 @@ class TruthEngine:
         merged scores are re-indexed onto the full claim matrix's fact ids,
         so downstream state (``predict_proba``, artifacts, serving) is
         laid out exactly as a single-shard fit.
+
+        A corpus advertising indexed entity ranges (a store-backed
+        :class:`~repro.io.store_source.StoreSource`) is planned by key
+        ranges (:meth:`~repro.parallel.ShardPlanner.plan_keys`): the planner
+        streams entity keys off the store's index, and each worker pulls its
+        own entities' triples straight from the store — score-identical to
+        the eager plan, without the corpus ever materialising here.
         """
         from repro.parallel import ParallelExecutor, ShardPlanner
 
@@ -473,9 +527,11 @@ class TruthEngine:
                 params["priors"] = LTMPriors.scaled_to(claims.num_facts)
 
         start = time.perf_counter()
-        plan = ShardPlanner(execution.num_shards, seed=execution.partition_seed).plan(
-            corpus
-        )
+        planner = ShardPlanner(execution.num_shards, seed=execution.partition_seed)
+        if getattr(corpus, "supports_entity_ranges", False):
+            plan = planner.plan_keys(corpus)
+        else:
+            plan = planner.plan(corpus)
         executor = ParallelExecutor(execution.backend, max_workers=execution.max_workers)
         merged = executor.fit(
             plan,
@@ -547,6 +603,7 @@ class TruthEngine:
     def _reset_state(self) -> None:
         """Drop all accumulated state ahead of a fresh fit."""
         self._history = RawDatabase(strict=False)
+        self._history_source = None
         self._since_last_fit = RawDatabase(strict=False)
         self._batches_since_fit = 0
         self._steps_completed = 0
@@ -587,7 +644,12 @@ class TruthEngine:
         dataset-catalog key / file path; a source's triples are integrated
         as one batch.  For chunked streaming, loop over
         ``source.iter_batches(batch_size)`` and ``partial_fit`` each batch —
-        the full claim table is never materialised.
+        the full claim table is never materialised.  With
+        ``config.retain_history=False`` the engine additionally drops each
+        batch's triples once scored (keeping only the current re-train
+        window, if any), so a stream backed by a
+        :class:`~repro.store.claims.ClaimStore` runs in memory bounded by
+        batch size.
 
         The step outcome is appended to :attr:`reports` and available as
         :attr:`last_report`.
@@ -618,8 +680,13 @@ class TruthEngine:
         }
         self._scores.update(fact_scores)
 
-        self._history.extend(batch.triples)
-        self._since_last_fit.extend(batch.triples)
+        # retain_history=False bounds the engine's memory: the stream's
+        # history lives in its backing store, not here.  The re-train window
+        # is still kept when periodic re-fits need it (retrain_every > 0).
+        if self.config.retain_history:
+            self._history.extend(batch.triples)
+        if self.config.retain_history or self.config.retrain_every:
+            self._since_last_fit.extend(batch.triples)
         self._batches_since_fit += 1
 
         retrained = False
@@ -669,7 +736,7 @@ class TruthEngine:
         """Periodic full re-fit of the streaming loop (paper Section 5.4)."""
         priors_override: LTMPriors | None = None
         if self.config.cumulative:
-            corpus = self._history
+            corpus = self._combined_history()
         else:
             corpus = self._since_last_fit if len(self._since_last_fit) else self._history
             if self._quality is not None:

@@ -8,6 +8,9 @@ triple enters through.
 * :mod:`repro.io.sources` — concrete sources for in-memory triples, triple
   CSV/TSV files, JSON dataset dumps, relational tables and the synthetic
   simulators;
+* :class:`~repro.io.store_source.StoreSource` — the out-of-core source over
+  a disk-backed :class:`~repro.store.claims.ClaimStore` (indexed entity
+  range scans, ``as_source("store://claims.db")``);
 * :class:`~repro.io.catalog.DatasetCatalog` — named, parameterised datasets
   under string keys (``"books"``, ``"movies"``, ``"ltm_generative"``,
   ``"adversarial"``, ``"paper_example"``), mirroring the engine's
@@ -30,7 +33,7 @@ Quickstart::
 """
 
 from repro.io.base import DataSource, SourceSchema
-from repro.io.partition import entity_partition_key
+from repro.io.partition import entity_partition_key, seeded_entity_order
 from repro.io.sources import (
     DatasetSource,
     JsonDatasetSource,
@@ -39,6 +42,7 @@ from repro.io.sources import (
     TableSource,
     TripleFileSource,
 )
+from repro.io.store_source import StoreSource
 from repro.io.catalog import (
     DatasetCatalog,
     DatasetSpec,
@@ -56,10 +60,12 @@ __all__ = [
     "TableSource",
     "DatasetSource",
     "SyntheticSource",
+    "StoreSource",
     "DatasetCatalog",
     "DatasetSpec",
     "as_source",
     "default_catalog",
     "entity_partition_key",
     "register_dataset",
+    "seeded_entity_order",
 ]

@@ -69,6 +69,11 @@ class DatasetSpec:
         Whether sources built from this spec carry ground truth.
     aliases:
         Additional accepted names (matched after normalisation).
+    streams:
+        Whether sources built from this spec stream (bounded-memory
+        iteration) rather than materialise their triples — mirrored from
+        :attr:`~repro.io.base.DataSource.streams` and shown by
+        ``repro-truth datasets``.
     """
 
     key: str
@@ -77,6 +82,7 @@ class DatasetSpec:
     kind: str = "synthetic"
     has_labels: bool = True
     aliases: tuple[str, ...] = ()
+    streams: bool = False
 
     def metadata(self) -> dict[str, Any]:
         """The spec's metadata as a plain dict (for display and serialisation)."""
@@ -86,6 +92,7 @@ class DatasetSpec:
             "kind": self.kind,
             "has_labels": self.has_labels,
             "aliases": list(self.aliases),
+            "streams": self.streams,
         }
 
 
@@ -133,6 +140,36 @@ class DatasetCatalog:
     ) -> DatasetSpec:
         """Convenience wrapper building and registering a :class:`DatasetSpec`."""
         return self.register(DatasetSpec(key=key, factory=factory, summary=summary, **metadata))
+
+    def register_store(
+        self,
+        key: str,
+        path: str | Path,
+        summary: str | None = None,
+        **metadata: Any,
+    ) -> DatasetSpec:
+        """Register an on-disk :class:`~repro.store.claims.ClaimStore` by name.
+
+        Sources built from the spec are fresh read-only
+        :class:`~repro.io.store_source.StoreSource` handles over ``path``,
+        so the same store can back catalog lookups from many workers.
+        """
+        from repro.io.store_source import StoreSource
+
+        store_path = str(path)
+
+        def factory(**params: Any) -> DataSource:
+            return StoreSource(store_path, name=_normalise_key(key), **params)
+
+        metadata.setdefault("kind", "store")
+        metadata.setdefault("has_labels", False)
+        metadata.setdefault("streams", True)
+        return self.register_dataset(
+            key,
+            factory,
+            summary if summary is not None else f"Claim store at {store_path}",
+            **metadata,
+        )
 
     # -- lookup ---------------------------------------------------------------------
     def resolve(self, name: str) -> str:
@@ -351,6 +388,25 @@ def register_dataset(spec: DatasetSpec, replace: bool = False) -> DatasetSpec:
 # ---------------------------------------------------------------------------
 # Universal coercion
 # ---------------------------------------------------------------------------
+#: URL prefix selecting the out-of-core claim store: ``store://claims.db``
+#: (relative path) or ``store:///var/data/claims.db`` (absolute path).
+STORE_URL_PREFIX = "store://"
+
+_SQLITE_MAGIC = b"SQLite format 3\x00"
+_SQLITE_SUFFIXES = {".db", ".sqlite", ".sqlite3"}
+
+
+def _is_sqlite_file(path: Path) -> bool:
+    """Whether an existing file looks like a SQLite database (claim store)."""
+    if path.suffix.lower() in _SQLITE_SUFFIXES:
+        return True
+    try:
+        with path.open("rb") as handle:
+            return handle.read(len(_SQLITE_MAGIC)) == _SQLITE_MAGIC
+    except OSError:
+        return False
+
+
 def as_source(
     data: Any,
     catalog: DatasetCatalog | None = None,
@@ -368,9 +424,15 @@ def as_source(
       wrapped in :class:`~repro.io.sources.MemorySource`;
     * a relational :class:`~repro.store.Table` — wrapped in
       :class:`~repro.io.sources.TableSource`;
+    * a ``store://`` URL — opened as an out-of-core
+      :class:`~repro.io.store_source.StoreSource` over the claim store at
+      the path after the prefix (``store://claims.db`` is relative,
+      ``store:///var/data/claims.db`` absolute);
     * a string or :class:`~pathlib.Path` — resolved as a catalog key (with
       ``params`` passed to the dataset factory) when registered, otherwise
-      as an existing triple file (``.json`` dumps load as datasets).
+      as an existing triple file (``.json`` dumps load as datasets,
+      SQLite files — by ``.db``/``.sqlite`` suffix or magic header — open
+      as claim stores).
 
     Raises
     ------
@@ -391,12 +453,27 @@ def as_source(
         return TableSource(data, **params)
     if isinstance(data, (str, Path)):
         resolved = catalog if catalog is not None else default_catalog()
+        if isinstance(data, str) and data.startswith(STORE_URL_PREFIX):
+            from repro.io.store_source import StoreSource
+
+            store_path = data[len(STORE_URL_PREFIX) :]
+            if not store_path:
+                raise ConfigurationError(
+                    f"{data!r} names no claim store; use store://path/to/claims.db"
+                )
+            if not Path(store_path).exists():
+                raise ConfigurationError(f"claim store {store_path!r} does not exist")
+            return StoreSource(store_path, **params)
         if isinstance(data, str) and data in resolved:
             return resolved.create(data, **params)
         path = Path(data)
         if path.exists():
             if path.suffix.lower() == ".json":
                 return JsonDatasetSource(path, **params)
+            if _is_sqlite_file(path):
+                from repro.io.store_source import StoreSource
+
+                return StoreSource(path, **params)
             return TripleFileSource(path, **params)
         raise ConfigurationError(
             f"{str(data)!r} is neither a registered dataset nor an existing file; "

@@ -24,10 +24,11 @@ reproducible across interpreter runs.
 from __future__ import annotations
 
 import hashlib
+from typing import Iterable
 
 from repro.types import EntityKey
 
-__all__ = ["entity_partition_key"]
+__all__ = ["entity_partition_key", "seeded_entity_order"]
 
 #: Number of digest bytes used for the partition key (64 bits).
 _DIGEST_SIZE = 8
@@ -64,3 +65,22 @@ def entity_partition_key(entity: EntityKey, seed: int = 0) -> int:
         str(entity).encode("utf-8"), digest_size=_DIGEST_SIZE, key=key
     ).digest()
     return int.from_bytes(digest, "little")
+
+
+def seeded_entity_order(entities: Iterable[EntityKey], seed: int) -> list[EntityKey]:
+    """Reorder ``entities`` by their seeded partition digest, deterministically.
+
+    This is the canonical seeded entity shuffle shared by every
+    :class:`~repro.io.DataSource` (in-memory, file-backed and the
+    disk-backed :class:`~repro.io.store_source.StoreSource`): entities sort
+    by ``(entity_partition_key(entity, seed), first_seen_position)``, so a
+    given seed reproduces the same arrival order regardless of which
+    representation the triples live in.  Only the entity *keys* are held in
+    memory — never their triples — which keeps the shuffle cheap even for
+    out-of-core corpora.
+    """
+    decorated = sorted(
+        enumerate(entities),
+        key=lambda item: (entity_partition_key(item[1], seed=seed), item[0]),
+    )
+    return [entity for _, entity in decorated]

@@ -23,7 +23,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.data.dataset import TruthDataset
-from repro.data.loaders import load_dataset_json, load_labels_csv, load_triples_csv
+from repro.data.loaders import iter_triples_csv, load_dataset_json, load_labels_csv
 from repro.data.raw import RawDatabase
 from repro.exceptions import ConfigurationError
 from repro.io.base import DataSource, SourceSchema
@@ -92,7 +92,12 @@ class TripleFileSource(DataSource):
     """A delimited triple file with an ``entity/attribute/source`` header.
 
     The delimiter defaults to tab and is inferred as ``","`` for ``.csv``
-    paths.  The file is read (and validated) lazily on first use and cached.
+    paths.  Rows **stream**: iteration reads (and validates) the file one
+    row at a time via :func:`~repro.data.loaders.iter_triples_csv`, so peak
+    memory is one batch regardless of file size — the file is never
+    materialised into a :class:`~repro.data.raw.RawDatabase` by the source
+    itself.  Duplicate rows are therefore passed through; claim-matrix
+    construction deduplicates downstream, so fits see identical claims.
 
     Parameters
     ----------
@@ -105,6 +110,8 @@ class TripleFileSource(DataSource):
     name:
         Source name; defaults to the file stem.
     """
+
+    streams = True
 
     def __init__(
         self,
@@ -119,24 +126,28 @@ class TripleFileSource(DataSource):
         )
         self.labels_path = Path(labels_path) if labels_path is not None else None
         self._name = name if name is not None else self.path.stem
-        self._raw: RawDatabase | None = None
+        self._num_triples: int | None = None
 
-    def _load(self) -> RawDatabase:
-        if self._raw is None:
-            self._raw = load_triples_csv(self.path, delimiter=self.delimiter)
-        return self._raw
+    def _read_rows(self) -> Iterator[Triple]:
+        """One validated pass over the file (the seam tests count rows at)."""
+        return iter_triples_csv(self.path, delimiter=self.delimiter)
 
     def schema(self) -> SourceSchema:
         return SourceSchema(
             name=self._name,
             kind="file",
             has_labels=self.labels_path is not None,
-            num_triples=len(self._raw) if self._raw is not None else None,
+            num_triples=self._num_triples,
             metadata={"path": str(self.path), "delimiter": self.delimiter},
         )
 
     def iter_triples(self) -> Iterator[Triple]:
-        return iter(self._load())
+        count = 0
+        for triple in self._read_rows():
+            count += 1
+            yield triple
+        # Only a complete pass knows the size; cache it for schema().
+        self._num_triples = count
 
     def labels(self) -> dict[tuple[EntityKey, AttributeValue], bool] | None:
         if self.labels_path is None:

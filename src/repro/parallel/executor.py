@@ -42,14 +42,14 @@ from repro.engine.config import EXECUTION_BACKENDS
 from repro.engine.registry import MethodRegistry, default_registry
 from repro.exceptions import ConfigurationError
 from repro.parallel.merge import MergedFit, ShardFit, merge_shard_fits
-from repro.parallel.plan import ShardPlan
+from repro.parallel.plan import KeyShardPlan, ShardPlan
 
 # The artifact layer's type-tagged (de)serialisation doubles as the worker
 # handoff codec: it is the one place rich params (LTMPriors, quality tables)
 # already round-trip losslessly through plain JSON-safe containers.
 from repro.serving.artifact import _decode_param, _encode_param
 
-__all__ = ["ShardTask", "fit_shard", "ParallelExecutor"]
+__all__ = ["ShardTask", "RangeShardTask", "fit_shard", "fit_shard_range", "ParallelExecutor"]
 
 
 @dataclass(frozen=True)
@@ -147,6 +147,66 @@ def fit_shard(task: ShardTask, registry: MethodRegistry | None = None) -> ShardF
     )
 
 
+@dataclass(frozen=True)
+class RangeShardTask:
+    """One out-of-core unit of work: entity keys plus the store to read.
+
+    The out-of-core counterpart of :class:`ShardTask`: instead of carrying
+    its triples, the task carries the claim-store *path* and its entity
+    keys.  The worker re-opens the store read-only (SQLite WAL supports any
+    number of concurrent readers, across processes) and pulls exactly its
+    own entities' triples through indexed range reads — so a shard of a
+    100M-triple corpus crosses the process boundary as a key list.
+    """
+
+    index: int
+    num_shards: int
+    method: str
+    params: Mapping[str, Any]
+    seed: int | None
+    strategy: str
+    store_path: str
+    entities: tuple[str, ...]
+
+
+def fit_shard_range(task: RangeShardTask, registry: MethodRegistry | None = None) -> ShardFit:
+    """Fetch a range task's triples from its store and fit the shard.
+
+    Module-level and picklable (the process-pool entry point for
+    :class:`KeyShardPlan` execution).  The store fetch preserves the eager
+    plan's triple layout — entities in plan order, each entity's triples in
+    ingest order — so the resulting :class:`ShardFit` is identical to the
+    one :func:`fit_shard` produces from a materialised :class:`ShardTask`.
+    """
+    from repro.store.claims import ClaimStore
+
+    with ClaimStore(task.store_path, read_only=True) as store:
+        triples = tuple(
+            triple.as_tuple() for triple in store.entity_triples(list(task.entities))
+        )
+    return fit_shard(
+        ShardTask(
+            index=task.index,
+            num_shards=task.num_shards,
+            method=task.method,
+            params=task.params,
+            seed=task.seed,
+            strategy=task.strategy,
+            triples=triples,
+        ),
+        registry=registry,
+    )
+
+
+def _fit_task(
+    task: "ShardTask | RangeShardTask", registry: MethodRegistry | None = None
+) -> ShardFit:
+    """Backend-agnostic worker dispatch (module-level for process pools)."""
+    if isinstance(task, RangeShardTask):
+        return fit_shard_range(task, registry=registry)
+    return fit_shard(task, registry=registry)
+
+
 class ParallelExecutor:
     """Fits a shard plan on a pluggable backend and merges the results.
 
@@ -196,7 +256,7 @@ class ParallelExecutor:
     # -- fitting ---------------------------------------------------------------------
     def fit(
         self,
-        plan: ShardPlan,
+        plan: ShardPlan | KeyShardPlan,
         method: str,
         params: Mapping[str, Any] | None = None,
         *,
@@ -208,7 +268,11 @@ class ParallelExecutor:
         Parameters
         ----------
         plan:
-            The entity-shard plan (empty shards are skipped).
+            The entity-shard plan (empty shards are skipped).  A
+            materialised :class:`~repro.parallel.plan.ShardPlan` carries its
+            triples; a :class:`~repro.parallel.plan.KeyShardPlan` carries
+            only entity keys, and each worker streams its shard's triples
+            from the plan's claim store via indexed range reads.
         method:
             Registry key of the solver; it must declare a
             :attr:`~repro.engine.registry.MethodSpec.shard_strategy`.
@@ -253,18 +317,34 @@ class ParallelExecutor:
         seeds = self.shard_seeds(
             int(base_seed) if base_seed is not None else None, plan.num_shards
         )
-        tasks = [
-            ShardTask(
-                index=shard.index,
-                num_shards=plan.num_shards,
-                method=spec.key,
-                params=encoded,
-                seed=seeds[shard.index],
-                strategy=spec.shard_strategy,
-                triples=tuple(triple.as_tuple() for triple in shard.triples),
-            )
-            for shard in plan.non_empty()
-        ]
+        tasks: list[ShardTask | RangeShardTask]
+        if isinstance(plan, KeyShardPlan):
+            tasks = [
+                RangeShardTask(
+                    index=shard.index,
+                    num_shards=plan.num_shards,
+                    method=spec.key,
+                    params=encoded,
+                    seed=seeds[shard.index],
+                    strategy=spec.shard_strategy,
+                    store_path=plan.store_path,
+                    entities=tuple(str(entity) for entity in shard.entities),
+                )
+                for shard in plan.non_empty()
+            ]
+        else:
+            tasks = [
+                ShardTask(
+                    index=shard.index,
+                    num_shards=plan.num_shards,
+                    method=spec.key,
+                    params=encoded,
+                    seed=seeds[shard.index],
+                    strategy=spec.shard_strategy,
+                    triples=tuple(triple.as_tuple() for triple in shard.triples),
+                )
+                for shard in plan.non_empty()
+            ]
         if not tasks:
             raise ConfigurationError("cannot execute an empty shard plan (no triples)")
         fits = self._run(tasks, resolved)
@@ -276,19 +356,21 @@ class ParallelExecutor:
             num_shards=plan.num_shards,
         )
 
-    def _run(self, tasks: list[ShardTask], registry: MethodRegistry) -> list[ShardFit]:
+    def _run(
+        self, tasks: "list[ShardTask | RangeShardTask]", registry: MethodRegistry
+    ) -> list[ShardFit]:
         """Dispatch ``tasks`` on the configured backend."""
         if self.backend == "serial" or len(tasks) == 1:
-            return [fit_shard(task, registry=registry) for task in tasks]
+            return [_fit_task(task, registry=registry) for task in tasks]
         workers = self.max_workers
         if workers is None:
             workers = min(len(tasks), os.cpu_count() or 1)
         workers = min(workers, len(tasks))
         if self.backend == "threads":
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(lambda task: fit_shard(task, registry=registry), tasks))
+                return list(pool.map(lambda task: _fit_task(task, registry=registry), tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fit_shard, tasks))
+            return list(pool.map(_fit_task, tasks))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ParallelExecutor(backend={self.backend!r}, max_workers={self.max_workers})"

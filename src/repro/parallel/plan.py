@@ -27,7 +27,7 @@ from repro.exceptions import ConfigurationError
 from repro.io.partition import entity_partition_key
 from repro.types import EntityKey, Triple
 
-__all__ = ["Shard", "ShardPlan", "ShardPlanner"]
+__all__ = ["Shard", "ShardPlan", "KeyShard", "KeyShardPlan", "ShardPlanner"]
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,60 @@ class ShardPlan:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         sizes = [shard.num_triples for shard in self.shards]
         return f"ShardPlan(num_shards={self.num_shards}, triples={sizes})"
+
+
+@dataclass(frozen=True)
+class KeyShard:
+    """One shard of a key-range plan: entity *keys* only, no triples.
+
+    The triples stay in the backing claim store; each worker resolves its
+    entities through indexed range reads at fit time.  Entities are listed
+    in global first-seen order, so a worker's fetched triples are laid out
+    exactly like the corresponding :class:`Shard` of an eager plan.
+    """
+
+    index: int
+    entities: tuple[EntityKey, ...]
+
+    @property
+    def num_entities(self) -> int:
+        """Number of entities routed to this shard."""
+        return len(self.entities)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+
+@dataclass(frozen=True)
+class KeyShardPlan:
+    """The output of :meth:`ShardPlanner.plan_keys`: an out-of-core plan.
+
+    Unlike :class:`ShardPlan`, no triples are held — only entity keys plus
+    the path of the claim store they live in, so a 100M-triple corpus plans
+    in memory proportional to its *entity* count and shards cross process
+    boundaries as key lists, not data.
+    """
+
+    num_shards: int
+    partition_seed: int
+    shards: tuple[KeyShard, ...]
+    store_path: str
+
+    @property
+    def num_entities(self) -> int:
+        """Total entities across all shards."""
+        return sum(shard.num_entities for shard in self.shards)
+
+    def non_empty(self) -> list[KeyShard]:
+        """The shards that hold entities (hence triples), in index order."""
+        return [shard for shard in self.shards if shard.num_entities]
+
+    def __iter__(self) -> Iterator[KeyShard]:
+        return iter(self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = [shard.num_entities for shard in self.shards]
+        return f"KeyShardPlan(num_shards={self.num_shards}, entities={sizes})"
 
 
 class ShardPlanner:
@@ -176,6 +230,44 @@ class ShardPlanner:
                 Shard(index=i, entities=tuple(entities[i]), triples=tuple(triples[i]))
                 for i in range(self.num_shards)
             ),
+        )
+
+    def plan_keys(self, data: Any) -> KeyShardPlan:
+        """Partition an indexed, store-backed source by streaming key ranges.
+
+        ``data`` must coerce to a source advertising
+        :attr:`~repro.io.DataSource.supports_entity_ranges` over an on-disk
+        claim store (a :class:`~repro.io.store_source.StoreSource` or a
+        ``store://`` URL).  Only entity *keys* stream through the planner —
+        off the store's first-seen covering index — so planning a corpus
+        needs memory proportional to its entity count, never its triples.
+        Shard membership is identical to :meth:`plan` over the same corpus.
+        """
+        from repro.io.catalog import as_source
+
+        source = as_source(data)
+        if not getattr(source, "supports_entity_ranges", False):
+            raise ConfigurationError(
+                f"{type(source).__name__} does not support indexed entity ranges; "
+                f"plan_keys needs a store-backed source (store://path/to/claims.db)"
+            )
+        store = getattr(source, "store", None)
+        if store is None or not getattr(store, "path", None):
+            raise ConfigurationError(
+                "plan_keys needs a source backed by an on-disk claim store "
+                "(workers re-open it by path)"
+            )
+        entities: list[list[EntityKey]] = [[] for _ in range(self.num_shards)]
+        for entity in source.iter_entities():
+            entities[self.shard_of(entity)].append(entity)
+        return KeyShardPlan(
+            num_shards=self.num_shards,
+            partition_seed=self.seed,
+            shards=tuple(
+                KeyShard(index=i, entities=tuple(entities[i]))
+                for i in range(self.num_shards)
+            ),
+            store_path=str(store.path),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

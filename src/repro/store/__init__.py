@@ -1,16 +1,23 @@
-"""A minimal in-memory relational store.
+"""The storage engine: an in-memory relational tier plus an out-of-core tier.
 
 The truth-finding pipeline of the paper is expressed over relational tables:
 the *raw database* of ``(entity, attribute, source)`` triples (Table 1), the
 *fact table* (Table 2), the *claim table* (Table 3) and the *truth table*
-(Table 4).  This subpackage provides the small relational substrate those
-tables are built on: typed schemas, row storage with optional unique
-constraints, hash indexes, and the handful of query operators (selection,
-projection, equi-join, group-by) the integration pipeline needs.
+(Table 4).  This subpackage provides both tiers those tables live on:
 
-It is intentionally tiny — it is a substrate, not a DBMS — but it behaves like
-one: schema violations, duplicate keys and unknown columns raise library
-exceptions rather than silently corrupting state.
+* an **in-memory substrate** — typed schemas, row storage with optional
+  unique constraints, hash indexes, and the handful of query operators
+  (selection, projection, equi-join, group-by) the integration pipeline
+  needs for its working set; and
+* an **out-of-core tier** — :class:`ClaimStore`, a disk-backed (SQLite by
+  default, pluggable via :class:`StorageBackend`) append-only claim log with
+  covering entity/source indexes and windowed retention, so corpora that do
+  not fit in RAM stream through fit, shard, and serve via
+  :class:`repro.io.store_source.StoreSource`.
+
+Both tiers fail loudly: schema violations, duplicate keys, unknown columns
+and version mismatches raise library exceptions rather than silently
+corrupting state.
 """
 
 from repro.store.schema import Column, Schema
@@ -26,6 +33,8 @@ from repro.store.query import (
     distinct,
 )
 from repro.store.database import Database
+from repro.store.backend import SQLiteBackend, StorageBackend
+from repro.store.claims import SCHEMA_VERSION, ClaimStore
 
 __all__ = [
     "Column",
@@ -40,4 +49,8 @@ __all__ = [
     "aggregate",
     "order_by",
     "distinct",
+    "StorageBackend",
+    "SQLiteBackend",
+    "ClaimStore",
+    "SCHEMA_VERSION",
 ]

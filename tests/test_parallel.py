@@ -547,3 +547,91 @@ class TestExecutorSurface:
         assert registry.spec("truthfinder").shard_strategy == "trust_sync"
         assert registry.spec("investment").shard_strategy is None
         assert "shard_strategy" in registry.spec("ltm").metadata()
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core key-range plans (ISSUE 7)
+# ---------------------------------------------------------------------------
+class TestKeyShardPlans:
+    """plan_keys + RangeShardTask: sharding without materialising the corpus."""
+
+    def _triples(self, num_entities=16):
+        triples = []
+        for e in range(num_entities):
+            for s in range(3):
+                triples.append((f"e{e}", f"true_{e}", f"good{s}"))
+            triples.append((f"e{e}", f"junk_{e}", "spammer"))
+        return triples
+
+    @pytest.fixture
+    def store_path(self, tmp_path):
+        from repro.store import ClaimStore
+
+        path = tmp_path / "claims.db"
+        with ClaimStore(path) as store:
+            store.append(self._triples())
+        return path
+
+    def test_plan_keys_membership_matches_eager_plan(self, store_path):
+        from repro.io import StoreSource
+
+        planner = ShardPlanner(4, seed=3)
+        with StoreSource(store_path) as source:
+            keyed = planner.plan_keys(source)
+            eager = planner.plan(source)
+        assert keyed.store_path == str(store_path)
+        assert keyed.num_entities == eager.num_entities
+        for key_shard, shard in zip(keyed.shards, eager.shards):
+            assert key_shard.entities == shard.entities
+        assert [s.index for s in keyed.non_empty()] == [
+            s.index for s in eager.non_empty()
+        ]
+
+    def test_plan_keys_accepts_store_urls(self, store_path):
+        plan = ShardPlanner(2).plan_keys(f"store://{store_path}")
+        assert plan.num_entities == 16
+
+    def test_plan_keys_rejects_unindexed_sources(self):
+        with pytest.raises(ConfigurationError, match="plan_keys"):
+            ShardPlanner(2).plan_keys(MemorySource([("e", "a", "s")]))
+
+    @pytest.mark.parametrize("backend", ["serial", "threads", "processes"])
+    def test_range_fit_is_score_identical_to_eager_fit(self, store_path, backend):
+        planner = ShardPlanner(3, seed=1)
+        keyed = planner.plan_keys(f"store://{store_path}")
+        eager = planner.plan(f"store://{store_path}")
+        executor = ParallelExecutor(backend)
+        from_keys = executor.fit(keyed, "voting")
+        from_triples = executor.fit(eager, "voting")
+        assert from_keys.fact_scores() == from_triples.fact_scores()
+
+    def test_range_fit_gibbs_ltm_parity(self, store_path):
+        planner = ShardPlanner(2, seed=0)
+        params = {"iterations": 30, "seed": 11}
+        from_keys = ParallelExecutor("serial").fit(
+            planner.plan_keys(f"store://{store_path}"), "ltm", params,
+            quality_sync_rounds=1,
+        )
+        from_triples = ParallelExecutor("serial").fit(
+            planner.plan(f"store://{store_path}"), "ltm", params,
+            quality_sync_rounds=1,
+        )
+        assert from_keys.fact_scores() == from_triples.fact_scores()
+
+    def test_fit_shard_range_reopens_the_store_read_only(self, store_path):
+        from repro.parallel import RangeShardTask, fit_shard_range
+
+        task = RangeShardTask(
+            index=0,
+            num_shards=1,
+            method="voting",
+            params={},
+            seed=None,
+            strategy="local",
+            store_path=str(store_path),
+            entities=("e0", "e1"),
+        )
+        fit = fit_shard_range(task)
+        # 2 entities x (1 true fact + 1 junk fact) each.
+        assert fit.num_facts == 4
+        assert sorted(set(fit.fact_entities)) == ["e0", "e1"]

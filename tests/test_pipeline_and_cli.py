@@ -211,3 +211,81 @@ class TestCli:
         )
         assert code == 2
         assert "exactly one" in capsys.readouterr().err
+
+
+class TestStoreCli:
+    """The ``store load | stats | compact`` out-of-core subcommands (ISSUE 7)."""
+
+    def _tsv(self, tmp_path, paper_raw):
+        path = tmp_path / "triples.tsv"
+        save_triples_csv(paper_raw, path)
+        return path
+
+    def test_load_stats_compact_round_trip(self, tmp_path, paper_raw, capsys):
+        tsv = self._tsv(tmp_path, paper_raw)
+        db = tmp_path / "claims.db"
+        assert main(["store", "load", str(tsv), str(db)]) == 0
+        assert "loaded 8 triples" in capsys.readouterr().out
+        assert main(["store", "stats", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "8 triples" in out and "1 generation(s)" in out
+        # Second load is a new generation; compact keeps only the newest.
+        assert main(["store", "load", str(tsv), str(db)]) == 0
+        capsys.readouterr()
+        assert main(["store", "compact", str(db), "--keep-last", "1"]) == 0
+        assert "evicted 8 triples" in capsys.readouterr().out
+
+    def test_loaded_store_integrates_via_url(self, tmp_path, paper_raw, capsys):
+        tsv = self._tsv(tmp_path, paper_raw)
+        db = tmp_path / "claims.db"
+        assert main(["store", "load", str(tsv), str(db)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["integrate", "--source", f"store://{db}", "--method", "voting",
+             "--shards", "2", "--backend", "threads"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 entity shards" in out and "Merged records" in out
+
+    def test_stats_on_missing_store_errors(self, tmp_path, capsys):
+        assert main(["store", "stats", str(tmp_path / "absent.db")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_missing_input_errors(self, tmp_path, capsys):
+        code = main(["store", "load", str(tmp_path / "no.tsv"), str(tmp_path / "c.db")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_compact_requires_criterion(self, tmp_path, paper_raw, capsys):
+        tsv = self._tsv(tmp_path, paper_raw)
+        db = tmp_path / "claims.db"
+        assert main(["store", "load", str(tsv), str(db)]) == 0
+        capsys.readouterr()
+        assert main(["store", "compact", str(db)]) == 2
+        assert "--keep-last" in capsys.readouterr().err
+
+    def test_datasets_table_has_streaming_column(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out.splitlines()[0]
+
+    def test_integrate_on_foreign_sqlite_is_a_clean_error(self, tmp_path, capsys):
+        # A sqlite file that is not a claim store must fail with the CLI's
+        # friendly error line, not a StoreError traceback.
+        import sqlite3
+
+        db = tmp_path / "foreign.db"
+        sqlite3.connect(db).execute("CREATE TABLE t (x)").close()
+        code = main(["integrate", "--source", f"store://{db}", "--method", "voting"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "not a claim store" in err
+
+    def test_export_on_missing_store_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["export", f"store://{tmp_path / 'absent.db'}", str(tmp_path / "art"),
+             "--method", "voting"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

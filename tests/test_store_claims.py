@@ -1,0 +1,232 @@
+"""Tests for the out-of-core claim store (repro.store.backend / .claims).
+
+The contract pinned here (see ISSUE 7):
+
+* the append-only log replays in ingest order and keeps duplicates (the
+  claim-matrix builder dedups downstream, so store-backed and in-memory
+  corpora build identical matrices);
+* entity scans run off the first-seen covering index: ``iter_entities``
+  yields insertion order, ``triples_of`` / ``entity_triples`` are range
+  reads grouped per entity;
+* the schema is versioned and foreign files fail loudly;
+* read-only handles (what shard workers open) reject every write;
+* windowed retention (``compact``) evicts whole generations / time windows
+  and rebuilds the first-seen table from the surviving log.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreError
+from repro.store import SCHEMA_VERSION, ClaimStore, SQLiteBackend
+from repro.types import Triple
+
+TRIPLES = [
+    Triple("e1", "a", "s1"),
+    Triple("e1", "a", "s2"),
+    Triple("e1", "b", "s3"),
+    Triple("e2", "c", "s1"),
+    Triple("e2", "c", "s3"),
+    Triple("e3", "d", "s2"),
+]
+
+
+class TestSQLiteBackend:
+    def test_execute_and_iter_rows_chunked(self):
+        backend = SQLiteBackend(":memory:")
+        backend.execute("CREATE TABLE t (x INTEGER)").close()
+        backend.executemany("INSERT INTO t (x) VALUES (?)", [(i,) for i in range(10)])
+        backend.commit()
+        rows = list(backend.iter_rows("SELECT x FROM t ORDER BY x", chunk_rows=3))
+        assert rows == [(i,) for i in range(10)]
+        assert backend.fetch_one("SELECT COUNT(*) FROM t") == (10,)
+        backend.close()
+
+    def test_transaction_rolls_back_on_error(self):
+        backend = SQLiteBackend(":memory:")
+        backend.execute("CREATE TABLE t (x INTEGER)").close()
+        backend.commit()
+        with pytest.raises(RuntimeError):
+            with backend.transaction() as txn:
+                txn.execute("INSERT INTO t (x) VALUES (1)").close()
+                raise RuntimeError("boom")
+        assert backend.fetch_one("SELECT COUNT(*) FROM t") == (0,)
+
+    def test_read_only_requires_existing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            SQLiteBackend(tmp_path / "missing.db", read_only=True)
+
+    def test_read_only_memory_rejected(self):
+        with pytest.raises(StoreError):
+            SQLiteBackend(":memory:", read_only=True)
+
+    def test_read_only_rejects_writes(self, tmp_path):
+        path = tmp_path / "claims.db"
+        ClaimStore(path).close()
+        backend = SQLiteBackend(path, read_only=True)
+        with pytest.raises(StoreError):
+            backend.execute("INSERT INTO store_meta (key, value) VALUES ('x', 'y')")
+        backend.close()
+
+    def test_closed_backend_raises(self):
+        backend = SQLiteBackend(":memory:")
+        backend.close()
+        backend.close()  # idempotent
+        with pytest.raises(StoreError, match="closed"):
+            backend.execute("SELECT 1")
+
+
+class TestClaimStoreIngest:
+    def test_append_and_replay_in_order(self):
+        with ClaimStore() as store:
+            assert store.append(TRIPLES) == len(TRIPLES)
+            assert len(store) == len(TRIPLES)
+            assert list(store.iter_triples()) == TRIPLES
+
+    def test_accepts_plain_tuples(self):
+        with ClaimStore() as store:
+            store.append([t.as_tuple() for t in TRIPLES])
+            assert list(store.iter_triples()) == TRIPLES
+
+    def test_duplicates_are_kept(self):
+        with ClaimStore() as store:
+            store.append([TRIPLES[0], TRIPLES[0]])
+            assert len(store) == 2
+
+    def test_small_batch_size_flushes_everything(self):
+        with ClaimStore() as store:
+            assert store.append(iter(TRIPLES), batch_size=2) == len(TRIPLES)
+            assert list(store.iter_triples()) == TRIPLES
+
+    def test_invalid_batch_size(self):
+        with ClaimStore() as store:
+            with pytest.raises(StoreError, match="batch_size"):
+                store.append(TRIPLES, batch_size=0)
+
+    def test_each_append_is_one_generation(self):
+        with ClaimStore() as store:
+            store.append(TRIPLES[:3])
+            store.append(TRIPLES[3:])
+            assert store.latest_generation() == 2
+            gens = store.generations()
+            assert [g["generation"] for g in gens] == [1, 2]
+            assert [g["rows"] for g in gens] == [3, 3]
+
+
+class TestClaimStoreScans:
+    def test_iter_entities_is_first_seen_order(self):
+        with ClaimStore() as store:
+            # Insertion order deliberately disagrees with lexical order.
+            store.append([("z", "a", "s1"), ("a", "b", "s1"), ("z", "c", "s2")])
+            assert list(store.iter_entities()) == ["z", "a"]
+            assert store.num_entities() == 2
+
+    def test_triples_of_is_an_entity_range_read(self):
+        with ClaimStore() as store:
+            store.append(TRIPLES)
+            assert store.triples_of("e1") == TRIPLES[:3]
+            assert store.triples_of("nope") == []
+
+    def test_entity_triples_groups_in_given_order(self):
+        with ClaimStore() as store:
+            store.append(TRIPLES)
+            got = store.entity_triples(["e2", "e1"])
+            assert got == TRIPLES[3:5] + TRIPLES[:3]
+
+    def test_stats_counters(self):
+        with ClaimStore() as store:
+            store.append(TRIPLES)
+            info = store.stats()
+            assert info["triples"] == len(TRIPLES)
+            assert info["entities"] == 3
+            assert info["sources"] == 3
+            assert info["generations"] == 1
+            assert info["schema_version"] == SCHEMA_VERSION
+
+    def test_chunked_iteration_covers_all_rows(self):
+        with ClaimStore() as store:
+            store.append(TRIPLES)
+            assert list(store.iter_triples(chunk_size=2)) == TRIPLES
+            assert list(store.iter_entities(chunk_size=1)) == ["e1", "e2", "e3"]
+
+
+class TestClaimStorePersistence:
+    def test_round_trip_across_reopen(self, tmp_path):
+        path = tmp_path / "claims.db"
+        with ClaimStore(path) as store:
+            store.append(TRIPLES[:3])
+        with ClaimStore(path) as store:
+            store.append(TRIPLES[3:])
+            assert store.latest_generation() == 2
+            assert list(store.iter_triples()) == TRIPLES
+
+    def test_read_only_handle_scans_but_never_writes(self, tmp_path):
+        path = tmp_path / "claims.db"
+        with ClaimStore(path) as store:
+            store.append(TRIPLES)
+        with ClaimStore(path, read_only=True) as store:
+            assert list(store.iter_triples()) == TRIPLES
+            with pytest.raises(StoreError, match="read-only"):
+                store.append(TRIPLES)
+            with pytest.raises(StoreError, match="read-only"):
+                store.compact(keep_last=1)
+
+    def test_foreign_sqlite_file_rejected(self, tmp_path):
+        path = tmp_path / "other.db"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="not a claim store"):
+            ClaimStore(path, read_only=True)
+
+    def test_future_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "claims.db"
+        ClaimStore(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE store_meta SET value = '99' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(StoreError, match="schema version 99"):
+            ClaimStore(path, read_only=True)
+
+
+class TestClaimStoreCompaction:
+    def _loaded(self, path):
+        store = ClaimStore(path)
+        store.append(TRIPLES[:3])  # generation 1
+        store.append(TRIPLES[3:5])  # generation 2
+        store.append(TRIPLES[5:])  # generation 3
+        return store
+
+    def test_keep_last_evicts_old_generations(self, tmp_path):
+        with self._loaded(tmp_path / "claims.db") as store:
+            deleted = store.compact(keep_last=1)
+            assert deleted == 5
+            assert list(store.iter_triples()) == TRIPLES[5:]
+            # The first-seen table is rebuilt from the surviving log.
+            assert list(store.iter_entities()) == ["e3"]
+            # Surviving rows keep their original generation number.
+            assert store.latest_generation() == 3
+
+    def test_keep_last_larger_than_history_is_a_no_op(self, tmp_path):
+        with self._loaded(tmp_path / "claims.db") as store:
+            assert store.compact(keep_last=10) == 0
+            assert len(store) == len(TRIPLES)
+
+    def test_older_than_time_window(self, tmp_path):
+        with self._loaded(tmp_path / "claims.db") as store:
+            # Everything was ingested after epoch 0: nothing to evict.
+            assert store.compact(older_than=0.0) == 0
+            # Everything is older than a far-future stamp: evict all.
+            assert store.compact(older_than=4e12) == len(TRIPLES)
+            assert len(store) == 0
+            assert list(store.iter_entities()) == []
+
+    def test_compact_requires_a_criterion(self, tmp_path):
+        with self._loaded(tmp_path / "claims.db") as store:
+            with pytest.raises(StoreError, match="keep_last and/or older_than"):
+                store.compact()
+            with pytest.raises(StoreError, match="keep_last"):
+                store.compact(keep_last=0)
