@@ -66,6 +66,7 @@ from repro.api.observability import (
     new_request_id,
 )
 from repro.api.rate_limit import RateLimiter
+from repro.obs.metrics import global_registry
 from repro.api.routing import MethodNotAllowed, NotFound, Router
 from repro.exceptions import (
     ArtifactError,
@@ -483,9 +484,17 @@ class TruthAPI:
         )
 
     async def _handle_metrics(self, request: Request) -> Response:
+        # One scrape sees both tiers: the per-app request series, then the
+        # process-global engine/store/parallel/serving series (when any
+        # exist).  The app registry renders first so its output stays
+        # byte-identical to the pre-repro.obs exposition.
+        body = self.metrics.render()
+        global_reg = global_registry()
+        if global_reg is not self.metrics and len(global_reg):
+            body += global_reg.render()
         return Response(
             status=200,
-            body=self.metrics.render().encode("utf-8"),
+            body=body.encode("utf-8"),
             content_type=TEXT_CONTENT_TYPE,
         )
 

@@ -14,6 +14,12 @@ Three small pieces, dependency-free:
   support, rendered in the Prometheus text exposition format (version
   0.0.4) by :meth:`MetricsRegistry.render`; backs ``GET /metrics``.
 
+The metric primitives (:class:`Counter`, :class:`Gauge`, :class:`Histogram`,
+:class:`MetricsRegistry`) live in :mod:`repro.obs.metrics` — the process-wide
+metrics home shared with the engine, shard executor, claim store and serving
+layers — and are re-exported here unchanged so existing API imports keep
+working.
+
 Metric label values are always *route patterns* (``/truth/{entity}``), never
 raw paths, so cardinality is bounded by the route table.
 """
@@ -23,9 +29,19 @@ from __future__ import annotations
 import logging
 import secrets
 import time
-from typing import Callable, Iterable, Mapping
+from typing import Callable
 
 from repro.api.codec import canonical_json
+from repro.obs.metrics import (  # noqa: F401 — re-exported for compatibility
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    _format_value,
+    _label_key,
+    _render_labels,
+)
 
 __all__ = [
     "new_request_id",
@@ -36,11 +52,6 @@ __all__ = [
     "MetricsRegistry",
     "LATENCY_BUCKETS",
 ]
-
-#: Default latency histogram bucket upper bounds, in seconds.
-LATENCY_BUCKETS = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5
-)
 
 
 def new_request_id() -> str:
@@ -87,142 +98,3 @@ class RequestLogger:
         }
         level = logging.WARNING if status >= 500 else logging.INFO
         self.logger.log(level, "%s", canonical_json(record))
-
-
-def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
-    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
-
-
-def _render_labels(key: tuple[tuple[str, str], ...]) -> str:
-    if not key:
-        return ""
-    escaped = ",".join(
-        '{}="{}"'.format(name, value.replace("\\", "\\\\").replace('"', '\\"'))
-        for name, value in key
-    )
-    return "{" + escaped + "}"
-
-
-class Counter:
-    """A monotonically increasing labelled counter."""
-
-    kind = "counter"
-
-    def __init__(self, name: str, help_text: str):
-        self.name = name
-        self.help_text = help_text
-        self._values: dict[tuple[tuple[str, str], ...], float] = {}
-
-    def inc(self, amount: float = 1.0, **labels: str) -> None:
-        key = _label_key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
-
-    def value(self, **labels: str) -> float:
-        return self._values.get(_label_key(labels), 0.0)
-
-    def render(self) -> Iterable[str]:
-        for key in sorted(self._values):
-            yield f"{self.name}{_render_labels(key)} {_format_value(self._values[key])}"
-
-
-class Gauge(Counter):
-    """A labelled gauge — a counter whose value can also be set outright."""
-
-    kind = "gauge"
-
-    def set(self, value: float, **labels: str) -> None:
-        self._values[_label_key(labels)] = float(value)
-
-
-class Histogram:
-    """A labelled cumulative histogram with fixed bucket bounds."""
-
-    kind = "histogram"
-
-    def __init__(
-        self,
-        name: str,
-        help_text: str,
-        buckets: tuple[float, ...] = LATENCY_BUCKETS,
-    ):
-        self.name = name
-        self.help_text = help_text
-        self.buckets = tuple(sorted(buckets))
-        self._counts: dict[tuple[tuple[str, str], ...], list[int]] = {}
-        self._sums: dict[tuple[tuple[str, str], ...], float] = {}
-        self._totals: dict[tuple[tuple[str, str], ...], int] = {}
-
-    def observe(self, value: float, **labels: str) -> None:
-        key = _label_key(labels)
-        counts = self._counts.setdefault(key, [0] * len(self.buckets))
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[i] += 1
-        self._sums[key] = self._sums.get(key, 0.0) + value
-        self._totals[key] = self._totals.get(key, 0) + 1
-
-    def count(self, **labels: str) -> int:
-        return self._totals.get(_label_key(labels), 0)
-
-    def render(self) -> Iterable[str]:
-        for key in sorted(self._totals):
-            # observe() increments every bucket whose bound covers the value,
-            # so the stored counts are already cumulative (Prometheus form).
-            counts = self._counts[key]
-            for bound, bucket_count in zip(self.buckets, counts):
-                bucket_key = key + (("le", _format_value(bound)),)
-                yield f"{self.name}_bucket{_render_labels(bucket_key)} {bucket_count}"
-            inf_key = key + (("le", "+Inf"),)
-            yield f"{self.name}_bucket{_render_labels(inf_key)} {self._totals[key]}"
-            yield f"{self.name}_sum{_render_labels(key)} {_format_value(self._sums[key])}"
-            yield f"{self.name}_count{_render_labels(key)} {self._totals[key]}"
-
-
-def _format_value(value: float) -> str:
-    as_float = float(value)
-    if as_float.is_integer():
-        return str(int(as_float))
-    return repr(as_float)
-
-
-class MetricsRegistry:
-    """A named set of metrics rendered as one Prometheus text document."""
-
-    def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
-
-    def counter(self, name: str, help_text: str) -> Counter:
-        return self._get_or_create(name, help_text, Counter)
-
-    def gauge(self, name: str, help_text: str) -> Gauge:
-        return self._get_or_create(name, help_text, Gauge)
-
-    def histogram(
-        self, name: str, help_text: str, buckets: tuple[float, ...] = LATENCY_BUCKETS
-    ) -> Histogram:
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = Histogram(name, help_text, buckets)
-            self._metrics[name] = metric
-        elif not isinstance(metric, Histogram):
-            raise TypeError(f"metric {name!r} is already registered as {metric.kind}")
-        return metric
-
-    def _get_or_create(self, name, help_text, kind):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = kind(name, help_text)
-            self._metrics[name] = metric
-        elif type(metric) is not kind:
-            raise TypeError(f"metric {name!r} is already registered as {metric.kind}")
-        return metric
-
-    def render(self) -> str:
-        """The full registry in Prometheus text exposition format."""
-        lines: list[str] = []
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
-            lines.append(f"# HELP {name} {metric.help_text}")
-            lines.append(f"# TYPE {name} {metric.kind}")
-            lines.extend(metric.render())
-        return "\n".join(lines) + "\n"

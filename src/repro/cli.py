@@ -33,6 +33,12 @@ core workflow without writing Python:
   out-of-core;
 * ``repro-truth methods`` — list every registered solver with its metadata;
 * ``repro-truth datasets`` — list every catalog dataset with its metadata.
+
+Telemetry (:mod:`repro.obs`) rides along everywhere: ``integrate``,
+``export`` and ``serve`` accept ``--telemetry`` (record spans, print the
+span tree at the end) and ``--trace-out spans.jsonl`` (stream every span to
+a canonical-JSON lines file), and ``repro-truth obs summary|tail`` renders a
+recorded trace file after the fact.
 """
 
 from __future__ import annotations
@@ -109,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
     integrate.add_argument("--seed", type=int, default=7, help="random seed")
     integrate.add_argument("--max-records", type=int, default=20, help="merged records to print")
     _add_execution_arguments(integrate)
+    _add_telemetry_arguments(integrate)
 
     compare = subparsers.add_parser("compare", help="compare all methods against labels")
     compare.add_argument("input", help="triple TSV with header entity/attribute/source")
@@ -139,6 +146,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--seed", type=int, default=7, help="random seed")
     export.add_argument("--name", default=None, help="artifact name (defaults to the method)")
     _add_execution_arguments(export)
+    _add_telemetry_arguments(export)
     export.add_argument(
         "--shard-dir",
         default=None,
@@ -197,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=3600.0,
         help="seconds an Idempotency-Key replay stays answerable",
     )
+    _add_telemetry_arguments(serve)
 
     store = subparsers.add_parser(
         "store", help="manage on-disk claim stores (repro.store, out-of-core corpora)"
@@ -232,6 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop rows ingested before this UNIX timestamp",
     )
 
+    obs_cmd = subparsers.add_parser(
+        "obs", help="inspect recorded telemetry traces (repro.obs)"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="render a span JSONL file as a tree plus per-span aggregates"
+    )
+    obs_summary.add_argument("trace", help="span JSONL written by --trace-out")
+    obs_tail = obs_sub.add_parser(
+        "tail", help="print the most recently finished spans of a span JSONL file"
+    )
+    obs_tail.add_argument("trace", help="span JSONL written by --trace-out")
+    obs_tail.add_argument("--last", type=int, default=10, help="spans to print")
+
     subparsers.add_parser("methods", help="list registered truth methods and their metadata")
     subparsers.add_parser("datasets", help="list catalog datasets and their metadata")
     return parser
@@ -259,6 +282,49 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="quality-sync rounds of the shard merge for LTM-family methods",
     )
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared telemetry flags (see ``repro.obs``)."""
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="record tracing spans and print the span tree when the command finishes",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="stream every finished span to this JSONL file (implies --telemetry; "
+        "inspect with 'repro-truth obs summary|tail')",
+    )
+
+
+def _configure_telemetry(args: argparse.Namespace):
+    """Install the process-global tracer requested by --telemetry/--trace-out."""
+    if not (getattr(args, "telemetry", False) or getattr(args, "trace_out", None)):
+        return None
+    from repro import obs
+
+    return obs.configure(trace_path=args.trace_out)
+
+
+def _finish_telemetry(tracer, args: argparse.Namespace) -> None:
+    """Print the recorded span tree (if any) and tear the tracer down."""
+    if tracer is None:
+        return
+    from repro import obs
+    from repro.obs.render import format_span_summary
+
+    collector = tracer.collector
+    spans = collector.spans if collector is not None else []
+    if spans:
+        print()
+        print("Telemetry")
+        print("---------")
+        print(format_span_summary(spans))
+    if getattr(args, "trace_out", None):
+        print(f"trace written to {args.trace_out}")
+    obs.shutdown()
 
 
 def _execution_from_args(args: argparse.Namespace):
@@ -309,6 +375,14 @@ def _run_simulate(args: argparse.Namespace) -> int:
 
 
 def _run_integrate(args: argparse.Namespace) -> int:
+    tracer = _configure_telemetry(args)
+    try:
+        return _integrate(args)
+    finally:
+        _finish_telemetry(tracer, args)
+
+
+def _integrate(args: argparse.Namespace) -> int:
     if (args.input is None) == (args.source is None):
         print(
             "error: give exactly one of a positional input file or --source",
@@ -402,6 +476,14 @@ def _resolve_method_spec(method: str):
 
 
 def _run_export(args: argparse.Namespace) -> int:
+    tracer = _configure_telemetry(args)
+    try:
+        return _export(args)
+    finally:
+        _finish_telemetry(tracer, args)
+
+
+def _export(args: argparse.Namespace) -> int:
     from repro.engine.facade import TruthEngine
 
     spec = _resolve_method_spec(args.method)
@@ -523,6 +605,14 @@ def _run_query(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    tracer = _configure_telemetry(args)
+    try:
+        return _serve_command(args)
+    finally:
+        _finish_telemetry(tracer, args)
+
+
+def _serve_command(args: argparse.Namespace) -> int:
     """Serve an artifact over HTTP with the bundled stdlib ASGI server."""
     import asyncio
     import contextlib
@@ -698,6 +788,29 @@ def format_dataset_table() -> str:
     return _format_table(header, rows)
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    """The ``obs summary | tail`` trace-inspection subcommands."""
+    from repro.obs.render import format_span_line, format_span_summary, load_spans
+
+    try:
+        spans = load_spans(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.obs_command == "summary":
+        print(format_span_summary(spans))
+        return 0
+    if args.last < 1:
+        print("error: --last must be at least 1", file=sys.stderr)
+        return 2
+    if not spans:
+        print("(no spans)")
+        return 0
+    for span in spans[-args.last:]:
+        print(format_span_line(span))
+    return 0
+
+
 def _run_methods(args: argparse.Namespace) -> int:
     print(format_method_table())
     return 0
@@ -728,6 +841,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "store":
         return _run_store(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "methods":
         return _run_methods(args)
     if args.command == "datasets":

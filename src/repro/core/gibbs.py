@@ -18,6 +18,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.core.counts import SourceCounts
 from repro.core.priors import LTMPriors
 from repro.data.dataset import ClaimMatrix
@@ -194,6 +195,17 @@ class CollapsedGibbsSampler:
         trace = GibbsTrace()
         checkpoint_set = set(int(c) for c in checkpoints)
 
+        # Telemetry: sweeps are grouped into at most ~10 chunked
+        # ``gibbs.iteration`` spans per fit — per-sweep granularity without
+        # per-claim (or even per-sweep) span overhead.  The inner loops are
+        # untouched when tracing is disabled.
+        tracer = get_tracer()
+        traced = tracer.enabled
+        chunk = max(1, self.config.iterations // 10)
+        chunk_start = tracer.now() if traced else 0.0
+        chunk_first = 0
+        chunk_flips = 0
+
         # Pre-generate per-iteration uniform draws lazily (one array per sweep)
         for iteration in range(self.config.iterations):
             flips = 0
@@ -234,6 +246,22 @@ class CollapsedGibbsSampler:
                     np.add.at(totals, (srcs, oth), 1)
 
             trace.flips_per_iteration.append(flips)
+            if traced:
+                chunk_flips += flips
+                if (iteration + 1) % chunk == 0 or iteration == self.config.iterations - 1:
+                    sweeps = iteration - chunk_first + 1
+                    tracer.record(
+                        "gibbs.iteration",
+                        chunk_start,
+                        end=tracer.now(),
+                        first_iteration=chunk_first,
+                        iterations=sweeps,
+                        flips=chunk_flips,
+                        flip_fraction=round(chunk_flips / (sweeps * num_facts), 6),
+                    )
+                    chunk_start = tracer.now()
+                    chunk_first = iteration + 1
+                    chunk_flips = 0
             if iteration >= self.config.burn_in and (iteration - self.config.burn_in) % self.config.thin == 0:
                 score_sum += truth
                 samples += 1

@@ -15,8 +15,9 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Mapping
 
 from repro.exceptions import ConfigurationError
+from repro.obs.config import TelemetryConfig
 
-__all__ = ["EngineConfig", "ExecutionConfig"]
+__all__ = ["EngineConfig", "ExecutionConfig", "TelemetryConfig"]
 
 #: Executor backends accepted by :attr:`ExecutionConfig.backend`.
 EXECUTION_BACKENDS = ("serial", "threads", "processes")
@@ -148,6 +149,10 @@ class EngineConfig:
         The :class:`ExecutionConfig` governing sharded parallel execution
         (defaults to single-shard serial).  A plain dict is accepted and
         coerced, so configs keep loading from JSON.
+    telemetry:
+        The :class:`~repro.obs.config.TelemetryConfig` governing tracing of
+        this engine's fits (defaults to disabled — see :mod:`repro.obs`).
+        A plain dict is accepted and coerced, like ``execution``.
     """
 
     method: str = "ltm"
@@ -159,6 +164,7 @@ class EngineConfig:
     export_every: int = 1
     retain_history: bool = True
     execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.execution, Mapping):
@@ -166,6 +172,12 @@ class EngineConfig:
         elif not isinstance(self.execution, ExecutionConfig):
             raise ConfigurationError(
                 "execution must be an ExecutionConfig (or a mapping of its fields)"
+            )
+        if isinstance(self.telemetry, Mapping):
+            object.__setattr__(self, "telemetry", TelemetryConfig.from_dict(self.telemetry))
+        elif not isinstance(self.telemetry, TelemetryConfig):
+            raise ConfigurationError(
+                "telemetry must be a TelemetryConfig (or a mapping of its fields)"
             )
         if not isinstance(self.method, str) or not self.method.strip():
             raise ConfigurationError("method must be a non-empty string")
@@ -203,6 +215,7 @@ class EngineConfig:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["params"] = dict(self.params)
         out["execution"] = self.execution.to_dict()
+        out["telemetry"] = self.telemetry.to_dict()
         return out
 
     def with_overrides(self, **overrides: Any) -> "EngineConfig":

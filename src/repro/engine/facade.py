@@ -53,7 +53,9 @@ from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
+from repro import obs
 from repro.core.base import SourceQualityTable, TruthMethod, TruthResult
+from repro.core.gibbs import GibbsTrace
 from repro.core.incremental import IncrementalLTM, prior_mean_predictor
 from repro.core.priors import LTMPriors
 from repro.data.claim_builder import build_claim_matrix
@@ -237,6 +239,21 @@ class TruthEngine:
         """The step report of the most recent :meth:`partial_fit` call."""
         return self.reports[-1] if self.reports else None
 
+    @property
+    def last_trace(self) -> GibbsTrace | None:
+        """The sampling diagnostics of the most recent full fit.
+
+        The :class:`~repro.core.gibbs.GibbsTrace` the sampler produced —
+        flips per sweep, retained sample count, checkpoint snapshots — or
+        ``None`` when nothing was fitted yet or the method does not sample
+        (voting, the closed-form baselines).  The mean per-sweep flip
+        fraction also lands in telemetry (the ``repro_gibbs_flip_fraction``
+        histogram and the ``fit`` span's ``flip_fraction`` attribute)."""
+        if self._result is None:
+            return None
+        trace = self._result.extras.get("trace")
+        return trace if isinstance(trace, GibbsTrace) else None
+
     def result(self) -> TruthResult:
         """The raw solver output of the last full fit.
 
@@ -395,6 +412,17 @@ class TruthEngine:
         TruthEngine
             ``self``, sklearn-style, so calls chain.
         """
+        tracer = obs.tracer_for(self.config.telemetry)
+        with tracer.span(
+            "fit",
+            method=self.config.method,
+            backend=self.config.execution.backend,
+            num_shards=self.config.execution.num_shards,
+        ) as span:
+            return self._fit(data, span)
+
+    def _fit(self, data: Any, span: Any) -> "TruthEngine":
+        """The :meth:`fit` body, reporting into the ambient ``fit`` span."""
         source: "DataSource | None" = None
         if _is_source_like(data):
             from repro.io.catalog import as_source
@@ -428,6 +456,7 @@ class TruthEngine:
             corpus.require_non_empty()
             claims = build_claim_matrix(corpus, strict=False)
 
+        started = time.perf_counter()
         if self.config.execution.sharded:
             self._reject_sharded_solver_instance()
             if corpus is None:
@@ -440,7 +469,55 @@ class TruthEngine:
         else:
             result = self.make_solver().fit(claims)
         self._absorb_fit(claims, result)
+        self._record_fit_telemetry(
+            result, claims, span, mode="batch", duration=time.perf_counter() - started
+        )
         return self
+
+    def _record_fit_telemetry(
+        self,
+        result: TruthResult,
+        claims: ClaimMatrix,
+        span: Any,
+        *,
+        mode: str,
+        duration: float,
+        path: str = "fit",
+    ) -> None:
+        """Record one completed full fit into the global metrics and ``span``.
+
+        ``mode`` distinguishes user-initiated batch fits from the streaming
+        loop's periodic re-fits in ``repro_engine_fits_total``; ``path``
+        labels ``repro_engine_triples_ingested_total`` with how the triples
+        arrived.  When the solver produced a
+        :class:`~repro.core.gibbs.GibbsTrace`, the iteration budget and the
+        mean per-sweep flip fraction land in their histograms and on the
+        span.
+        """
+        execution = self.config.execution
+        metrics = obs.engine_metrics()
+        metrics.fit_seconds.observe(
+            duration, method=self.config.method, backend=execution.backend
+        )
+        metrics.fits_total.inc(method=self.config.method, mode=mode)
+        metrics.triples_ingested.inc(claims.num_claims, path=path)
+        span.set(
+            triples=claims.num_claims,
+            facts=claims.num_facts,
+            entities=claims.num_entities,
+            sources=claims.num_sources,
+        )
+        trace = result.extras.get("trace")
+        if isinstance(trace, GibbsTrace) and trace.total_iterations:
+            fractions = trace.flip_fraction(claims.num_facts)
+            flip_fraction = round(sum(fractions) / len(fractions), 6) if fractions else 0.0
+            metrics.fit_iterations.observe(trace.total_iterations, method=self.config.method)
+            metrics.gibbs_flip_fraction.observe(flip_fraction)
+            span.set(
+                iterations=trace.total_iterations,
+                samples=trace.samples_collected,
+                flip_fraction=flip_fraction,
+            )
 
     def _combined_history(self) -> RawDatabase:
         """Everything seen so far: the fitted source (if any) plus batches.
@@ -527,11 +604,19 @@ class TruthEngine:
                 params["priors"] = LTMPriors.scaled_to(claims.num_facts)
 
         start = time.perf_counter()
+        tracer = obs.get_tracer()
         planner = ShardPlanner(execution.num_shards, seed=execution.partition_seed)
-        if getattr(corpus, "supports_entity_ranges", False):
-            plan = planner.plan_keys(corpus)
-        else:
-            plan = planner.plan(corpus)
+        with tracer.span(
+            "shard.plan",
+            num_shards=execution.num_shards,
+            partition_seed=execution.partition_seed,
+        ) as plan_span:
+            if getattr(corpus, "supports_entity_ranges", False):
+                plan = planner.plan_keys(corpus)
+                plan_span.set(strategy="key_ranges")
+            else:
+                plan = planner.plan(corpus)
+                plan_span.set(strategy="eager")
         executor = ParallelExecutor(execution.backend, max_workers=execution.max_workers)
         merged = executor.fit(
             plan,
@@ -654,6 +739,12 @@ class TruthEngine:
         The step outcome is appended to :attr:`reports` and available as
         :attr:`last_report`.
         """
+        tracer = obs.tracer_for(self.config.telemetry)
+        with tracer.span("partial_fit", method=self.config.method) as span:
+            return self._partial_fit(data, span)
+
+    def _partial_fit(self, data: Any, span: Any) -> "TruthEngine":
+        """The :meth:`partial_fit` body, reporting into the ambient span."""
         if _is_source_like(data):
             data = _source_triples(data)
         if isinstance(data, ClaimBatch):
@@ -689,10 +780,14 @@ class TruthEngine:
             self._since_last_fit.extend(batch.triples)
         self._batches_since_fit += 1
 
+        obs.engine_metrics().triples_ingested.inc(len(batch), path="partial_fit")
+        span.set(batch=batch.index, triples=len(batch), facts=batch_matrix.num_facts)
+
         retrained = False
         if self.config.retrain_every and self._batches_since_fit >= self.config.retrain_every:
             self._streaming_refit()
             retrained = True
+        span.set(retrained=retrained)
 
         self.reports.append(
             OnlineStepReport(
@@ -758,11 +853,29 @@ class TruthEngine:
                 )
 
         matrix = build_claim_matrix(corpus, strict=False)
-        if self.config.execution.sharded:
-            self._reject_sharded_solver_instance()
-            result = self._parallel_fit(matrix, corpus, priors_override=priors_override)
-        else:
-            result = self.make_solver(priors=priors_override).fit(matrix)
+        tracer = obs.get_tracer()
+        started = time.perf_counter()
+        with tracer.span(
+            "fit",
+            method=self.config.method,
+            backend=self.config.execution.backend,
+            num_shards=self.config.execution.num_shards,
+            mode="refit",
+            cumulative=self.config.cumulative,
+        ) as span:
+            if self.config.execution.sharded:
+                self._reject_sharded_solver_instance()
+                result = self._parallel_fit(matrix, corpus, priors_override=priors_override)
+            else:
+                result = self.make_solver(priors=priors_override).fit(matrix)
+            self._record_fit_telemetry(
+                result,
+                matrix,
+                span,
+                mode="refit",
+                duration=time.perf_counter() - started,
+                path="refit",
+            )
         self._result = result
         self._claims = matrix
         if result.source_quality is not None:

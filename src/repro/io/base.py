@@ -35,6 +35,7 @@ from repro.data.claim_builder import build_dataset, bulk_build_claim_matrix
 from repro.data.dataset import ClaimMatrix, TruthDataset
 from repro.data.raw import RawDatabase
 from repro.exceptions import StreamError
+from repro.obs import get_tracer
 from repro.streaming.stream import ClaimBatch
 from repro.types import AttributeValue, EntityKey, Triple
 
@@ -180,6 +181,36 @@ class DataSource(abc.ABC):
         """
         if batch_size <= 0:
             raise StreamError("batch_size must be positive")
+        tracer = get_tracer()
+        if not tracer.enabled:
+            yield from self._batches(batch_size, by_entity, shuffle, seed)
+            return
+        start = tracer.now()
+        batches = 0
+        triples = 0
+        try:
+            for batch in self._batches(batch_size, by_entity, shuffle, seed):
+                batches += 1
+                triples += len(batch)
+                yield batch
+        finally:
+            # Recorded even on partial consumption, so an abandoned stream
+            # still shows how far it got.
+            tracer.record(
+                "source.iter_batches",
+                start,
+                end=tracer.now(),
+                source=self.schema().name,
+                batch_size=batch_size,
+                by_entity=by_entity,
+                batches=batches,
+                triples=triples,
+            )
+
+    def _batches(
+        self, batch_size: int, by_entity: bool, shuffle: bool, seed: int | None
+    ) -> Iterator[ClaimBatch]:
+        """The :meth:`iter_batches` body (telemetry-free, for wrapping)."""
         if by_entity:
             yield from self._entity_batches(batch_size, shuffle, seed)
             return

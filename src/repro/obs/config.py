@@ -1,0 +1,67 @@
+"""Declarative telemetry configuration, embeddable in an ``EngineConfig``.
+
+:class:`TelemetryConfig` is the engine-side switch for the tracing half of
+:mod:`repro.obs`: a fit run under ``EngineConfig(telemetry=...)`` with
+``enabled=True`` installs a recording tracer (when none is active yet) via
+:func:`repro.obs.tracer_for`, optionally exporting spans to a canonical-JSON
+lines file.  Like :class:`~repro.engine.config.ExecutionConfig` it is a
+frozen, JSON-round-trippable dataclass, so telemetry is a configuration
+concern: the same config that names the method and the shard layout also
+says whether the run is traced.
+
+Metrics (:mod:`repro.obs.metrics`) are *not* gated here — they are always-on
+per-operation recordings whose cost is negligible next to the work they
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["TelemetryConfig"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Whether (and where) a run records tracing spans.
+
+    Attributes
+    ----------
+    enabled:
+        When true, :meth:`~repro.engine.TruthEngine.fit` ensures a recording
+        :class:`~repro.obs.trace.Tracer` is active for the run (installing a
+        process-global one when none is); when false (default) the engine
+        uses whatever tracer :func:`repro.obs.get_tracer` resolves — the
+        no-op tracer unless :func:`repro.obs.configure` was called.
+    trace_path:
+        Optional path of a span JSONL file (one canonical-JSON span per
+        line, the format ``repro-truth obs summary`` reads).  Only consulted
+        when this config is the one that installs the tracer.
+    """
+
+    enabled: bool = False
+    trace_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            raise ConfigurationError("telemetry.enabled must be a boolean")
+        if self.trace_path is not None and not isinstance(self.trace_path, str):
+            raise ConfigurationError("telemetry.trace_path must be a string path (or None)")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetryConfig":
+        """Build a telemetry config from a plain mapping (e.g. parsed JSON)."""
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(data) - allowed
+        if unknown:
+            raise ConfigurationError(
+                f"unknown TelemetryConfig keys: {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        return cls(**dict(data))
+
+    def to_dict(self) -> dict[str, Any]:
+        """The telemetry config as a plain JSON-safe dict."""
+        return asdict(self)

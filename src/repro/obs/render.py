@@ -1,0 +1,129 @@
+"""Human-readable rendering of exported span trees.
+
+Backs ``repro-truth obs summary|tail``: reads the span JSONL a
+:class:`~repro.obs.trace.JsonlSpanExporter` (or ``--trace-out``) wrote and
+renders an indented tree with per-span timings plus a per-name aggregate
+table.  Pure functions over plain span dicts, so tests and the CLI's
+end-of-run summary (which renders straight from an
+:class:`~repro.obs.trace.InMemorySpanCollector`) share the same code.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "load_spans",
+    "format_span_line",
+    "format_span_tree",
+    "format_span_summary",
+]
+
+
+def load_spans(path: str) -> list[dict[str, Any]]:
+    """Parse a span JSONL file into span dicts (blank lines skipped).
+
+    Raises ``ValueError`` with the offending line number on malformed input,
+    so the CLI can fail with a pointed message instead of a traceback.
+    """
+    spans: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: not valid JSON: {exc}") from exc
+            if not isinstance(span, dict) or "name" not in span:
+                raise ValueError(f"{path}:{number}: not a span record")
+            spans.append(span)
+    return spans
+
+
+def _format_attribute(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_span_line(span: Mapping[str, Any]) -> str:
+    """One span as ``name (N ms) key=value ...``."""
+    duration = span.get("duration_ms")
+    if duration is None:
+        start, end = span.get("start"), span.get("end")
+        duration = (end - start) * 1000.0 if start is not None and end is not None else 0.0
+    attributes = span.get("attributes") or {}
+    rendered = " ".join(f"{key}={_format_attribute(val)}" for key, val in attributes.items())
+    line = f"{span['name']} ({float(duration):.1f} ms)"
+    return f"{line} {rendered}" if rendered else line
+
+
+def format_span_tree(spans: Iterable[Mapping[str, Any]]) -> str:
+    """The spans as an indented tree, children ordered by start time.
+
+    Spans whose parent is absent from the input (or ``None``) are roots.
+    """
+    spans = list(spans)
+    if not spans:
+        return "(no spans)"
+    by_id = {span.get("span_id"): span for span in spans}
+    children: dict[Any, list[Mapping[str, Any]]] = {}
+    roots: list[Mapping[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent is not None and parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def sort_key(span: Mapping[str, Any]):
+        return (span.get("start") or 0.0, span.get("span_id") or 0)
+
+    lines: list[str] = []
+
+    def walk(span: Mapping[str, Any], prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(format_span_line(span))
+            child_prefix = ""
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + format_span_line(span))
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        kids = sorted(children.get(span.get("span_id"), ()), key=sort_key)
+        for index, kid in enumerate(kids):
+            walk(kid, child_prefix, index == len(kids) - 1, False)
+
+    for root in sorted(roots, key=sort_key):
+        walk(root, "", True, True)
+    return "\n".join(lines)
+
+
+def format_span_summary(spans: Iterable[Mapping[str, Any]]) -> str:
+    """The tree plus a per-name aggregate table (count, total and mean ms)."""
+    spans = list(spans)
+    if not spans:
+        return "(no spans)"
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        duration = span.get("duration_ms")
+        if duration is None:
+            start, end = span.get("start"), span.get("end")
+            duration = (end - start) * 1000.0 if start is not None and end is not None else 0.0
+        totals.setdefault(str(span["name"]), []).append(float(duration))
+    width = max(len(name) for name in totals)
+    width = max(width, len("span"))
+    lines = [format_span_tree(spans), ""]
+    lines.append(f"{'span':<{width}} {'count':>7} {'total ms':>12} {'mean ms':>12}")
+    for name in sorted(totals):
+        durations = totals[name]
+        total = sum(durations)
+        lines.append(
+            f"{name:<{width}} {len(durations):>7d} {total:>12.1f} "
+            f"{total / len(durations):>12.1f}"
+        )
+    lines.append("")
+    lines.append(f"{len(spans)} spans")
+    return "\n".join(lines)

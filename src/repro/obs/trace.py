@@ -1,0 +1,409 @@
+"""Nested, timed tracing spans with canonical-JSON export.
+
+The tracing half of :mod:`repro.obs`.  A :class:`Tracer` produces
+:class:`Span` records — named, wall-clock-timed, attribute-carrying, nested
+via a context-local current-span stack — and hands each *finished* span to
+its sinks:
+
+* :class:`InMemorySpanCollector` — keeps span dicts in order (tests, the
+  CLI's end-of-run tree rendering);
+* :class:`JsonlSpanExporter` — one canonical-JSON line per span (the same
+  :func:`repro.api.codec.canonical_json` the API uses for response bodies
+  and request logs), consumed by ``repro-truth obs summary|tail``.
+
+Three properties matter for how the rest of the library uses this:
+
+**Disabled is (almost) free.**  :data:`NOOP_TRACER` answers ``enabled=False``
+and returns a shared no-allocation context manager from :meth:`span`, so hot
+paths guard chunked recording with one attribute check and instrumented
+functions pay a dict lookup plus a no-op ``with`` — benchmarked under 2% on
+the Figure-6 fit workload (``benchmarks/test_obs_overhead.py``).
+
+**Deterministic under an injected clock.**  Spans are timed by the tracer's
+``clock`` (default :func:`time.time` — wall clock, so spans recorded in
+worker processes are comparable to the parent's) and identified by
+sequential per-tracer counters, never randomness.  A fixed fake clock makes
+the exported JSONL byte-stable — the same injectable-clock idiom as
+:class:`repro.api.TruthAPI`.
+
+**Spans cross process workers.**  A worker cannot share its parent's tracer,
+so :func:`repro.parallel.executor.fit_shard` runs under an isolated
+collecting tracer and ships its span *dicts* back on the
+:class:`~repro.parallel.merge.ShardFit`; the parent then grafts them into
+its own tree with :meth:`Tracer.adopt`, re-assigning ids and attaching the
+worker's root spans under the serialised parent context
+(:meth:`Tracer.current_context`) — one merged tree per sharded fit.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import threading
+import time
+from typing import Any, Callable, Iterable, Mapping
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_TRACER",
+    "InMemorySpanCollector",
+    "JsonlSpanExporter",
+]
+
+
+class Span:
+    """One named, timed unit of work with structured attributes."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id", "start", "end", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        trace_id: int,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict[str, Any],
+    ):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: float | None = None
+        self.attributes = attributes
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration_ms(self) -> float:
+        """Span duration in milliseconds (0.0 while unfinished)."""
+        if self.end is None:
+            return 0.0
+        return (self.end - self.start) * 1000.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """The span as a plain JSON-safe dict (the export format)."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration_ms": round(self.duration_ms, 3),
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+class _SpanScope:
+    """Context manager for one :meth:`Tracer.span` invocation."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Span | None = None
+        self._token = None
+
+    def __enter__(self) -> Span:
+        self._span, self._token = self._tracer._open(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span, self._token)
+        return None
+
+
+class _NullSpan:
+    """The span stand-in the no-op tracer yields: every mutation is a no-op."""
+
+    __slots__ = ()
+    name = ""
+    attributes: dict[str, Any] = {}
+    duration_ms = 0.0
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        return self
+
+
+class _NullScope:
+    """Shared, allocation-free context manager of :meth:`NoopTracer.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SCOPE = _NullScope()
+
+
+class Tracer:
+    """Produces nested spans and dispatches finished spans to sinks.
+
+    Parameters
+    ----------
+    *sinks:
+        Objects with an ``export(span_dict)`` method (or bare callables)
+        receiving each finished span as a plain dict, in finish order
+        (children before parents).
+    clock:
+        Wall-clock source for span timestamps — injectable for
+        deterministic tests.  Defaults to :func:`time.time` so spans from
+        different processes on one machine share a timeline.
+    """
+
+    enabled = True
+
+    def __init__(self, *sinks: Any, clock: Callable[[], float] = time.time):
+        self.clock = clock
+        self._sinks = list(sinks)
+        self._next_span_id = itertools.count(1)
+        self._next_trace_id = itertools.count(1)
+        self._current: contextvars.ContextVar[Span | None] = contextvars.ContextVar(
+            "repro_obs_current_span", default=None
+        )
+        self._lock = threading.Lock()
+
+    # -- recording --------------------------------------------------------------------
+    def now(self) -> float:
+        """The tracer's current wall-clock reading."""
+        return self.clock()
+
+    def span(self, name: str, **attributes: Any) -> _SpanScope:
+        """A context manager opening a child span of the current one."""
+        return _SpanScope(self, name, attributes)
+
+    def record(
+        self, name: str, start: float, end: float | None = None, **attributes: Any
+    ) -> Span:
+        """Record a retroactive span (child of the current one) from timestamps.
+
+        This is the chunked-recording entry point: hot loops accumulate
+        cheaply and call ``record`` once per chunk (the Gibbs sampler, the
+        batch iterator), paying tracer cost per *chunk* rather than per
+        element.
+        """
+        parent = self._current.get()
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else next(self._next_trace_id),
+            span_id=next(self._next_span_id),
+            parent_id=parent.span_id if parent is not None else None,
+            start=float(start),
+            attributes=attributes,
+        )
+        span.end = float(end) if end is not None else self.clock()
+        self._dispatch(span.to_dict())
+        return span
+
+    def current_context(self) -> dict[str, int] | None:
+        """The active span as a serialisable ``{trace_id, span_id}`` handoff.
+
+        This is what crosses a process boundary (on
+        :class:`~repro.parallel.executor.ShardTask`): plain ints, picklable,
+        enough for :meth:`adopt` to graft the worker's spans back under the
+        originating span.
+        """
+        current = self._current.get()
+        if current is None:
+            return None
+        return {"trace_id": current.trace_id, "span_id": current.span_id}
+
+    def adopt(
+        self,
+        span_dicts: Iterable[Mapping[str, Any]],
+        context: Mapping[str, int] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Graft spans recorded by another tracer into this one's tree.
+
+        Every span is re-identified with this tracer's id counters (so ids
+        from concurrent workers never collide); parent links *within* the
+        batch are preserved, and batch-root spans are attached to the
+        current span — or, when none is active, to the serialised
+        ``context`` the work was dispatched with.  Timing and attributes
+        pass through unchanged (workers share the wall clock).
+        """
+        spans = [dict(span) for span in span_dicts]
+        if not spans:
+            return []
+        current = self._current.get()
+        if current is not None:
+            parent_id: int | None = current.span_id
+            trace_id: int | None = current.trace_id
+        elif context is not None:
+            parent_id = int(context["span_id"])
+            trace_id = int(context["trace_id"])
+        else:
+            parent_id = None
+            trace_id = None
+        id_map = {span["span_id"]: next(self._next_span_id) for span in spans}
+        adopted = []
+        for span in spans:
+            out = dict(span)
+            out["span_id"] = id_map[span["span_id"]]
+            old_parent = span.get("parent_id")
+            if old_parent in id_map:
+                out["parent_id"] = id_map[old_parent]
+            else:
+                out["parent_id"] = parent_id
+            out["trace_id"] = trace_id if trace_id is not None else span.get("trace_id")
+            self._dispatch(out)
+            adopted.append(out)
+        return adopted
+
+    # -- internals --------------------------------------------------------------------
+    def _open(self, name: str, attributes: dict[str, Any]):
+        parent = self._current.get()
+        span = Span(
+            name=name,
+            trace_id=parent.trace_id if parent is not None else next(self._next_trace_id),
+            span_id=next(self._next_span_id),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock(),
+            attributes=attributes,
+        )
+        token = self._current.set(span)
+        return span, token
+
+    def _close(self, span: Span, token) -> None:
+        span.end = self.clock()
+        self._current.reset(token)
+        self._dispatch(span.to_dict())
+
+    def _dispatch(self, span_dict: dict[str, Any]) -> None:
+        with self._lock:
+            for sink in self._sinks:
+                export = getattr(sink, "export", sink)
+                export(span_dict)
+
+    # -- sink access ------------------------------------------------------------------
+    @property
+    def collector(self) -> "InMemorySpanCollector | None":
+        """The first in-memory collector among the sinks, when present."""
+        for sink in self._sinks:
+            if isinstance(sink, InMemorySpanCollector):
+                return sink
+        return None
+
+    def close(self) -> None:
+        """Close every closable sink (flushes JSONL exporters)."""
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tracer(sinks={len(self._sinks)}, enabled=True)"
+
+
+class NoopTracer:
+    """The disabled tracer: same surface as :class:`Tracer`, near-zero cost.
+
+    ``enabled`` is ``False`` so chunked hot loops can skip their
+    accumulation entirely; :meth:`span` returns one shared context manager,
+    so instrumented call sites allocate nothing.
+    """
+
+    enabled = False
+    clock = staticmethod(time.time)
+
+    def now(self) -> float:
+        return 0.0
+
+    def span(self, name: str, **attributes: Any) -> _NullScope:
+        return _NULL_SCOPE
+
+    def record(self, name: str, start: float, end: float | None = None, **attributes: Any) -> None:
+        return None
+
+    def current_context(self) -> None:
+        return None
+
+    def adopt(self, span_dicts, context=None) -> list:
+        return []
+
+    def close(self) -> None:
+        return None
+
+    @property
+    def collector(self) -> None:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NoopTracer()"
+
+
+#: The shared disabled tracer — what :func:`repro.obs.get_tracer` returns
+#: until :func:`repro.obs.configure` installs a recording one.
+NOOP_TRACER = NoopTracer()
+
+
+class InMemorySpanCollector:
+    """Keeps finished span dicts in dispatch order (tests and CLI summaries)."""
+
+    def __init__(self) -> None:
+        self.spans: list[dict[str, Any]] = []
+
+    def export(self, span_dict: dict[str, Any]) -> None:
+        self.spans.append(span_dict)
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+    def find(self, name: str) -> list[dict[str, Any]]:
+        """All collected spans with the given name, in dispatch order."""
+        return [span for span in self.spans if span["name"] == name]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+class JsonlSpanExporter:
+    """Writes one canonical-JSON line per finished span.
+
+    The line format is exactly :func:`repro.api.codec.canonical_json` of
+    :meth:`Span.to_dict` — sorted keys, compact separators, NaN-safe — so
+    the file is byte-stable for a fixed clock and directly consumable by
+    ``repro-truth obs summary|tail`` (:mod:`repro.obs.render`).  The file is
+    opened lazily on the first span and truncated per exporter (one run =
+    one trace file).
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._handle = None
+
+    def export(self, span_dict: dict[str, Any]) -> None:
+        # Imported at use, not module load: repro.obs sits below repro.api in
+        # the import graph (engine config embeds TelemetryConfig), so pulling
+        # the codec in at import time would close an import cycle.
+        from repro.api.codec import canonical_json
+
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+        self._handle.write(canonical_json(span_dict) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -29,6 +29,7 @@ empty, on completion order, or on the backend.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -36,6 +37,7 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.core.quality import expected_confusion_counts
 from repro.data.claim_builder import bulk_build_claim_matrix
 from repro.engine.config import EXECUTION_BACKENDS
@@ -74,6 +76,12 @@ class ShardTask:
     triples:
         The shard's raw triples as plain ``(entity, attribute, source)``
         tuples.
+    span_context:
+        The caller's open span as a plain ``{"trace_id", "span_id"}`` dict
+        (``None`` when tracing is off).  Its presence tells the worker to
+        record telemetry; the executor grafts the worker's spans back under
+        this context so one merged tree covers plan → shard fits → merge
+        even across process boundaries.
     """
 
     index: int
@@ -83,6 +91,7 @@ class ShardTask:
     seed: int | None
     strategy: str
     triples: tuple[tuple, ...]
+    span_context: Mapping[str, Any] | None = None
 
 
 def fit_shard(task: ShardTask, registry: MethodRegistry | None = None) -> ShardFit:
@@ -101,7 +110,29 @@ def fit_shard(task: ShardTask, registry: MethodRegistry | None = None) -> ShardF
     For the ``trust_sync`` strategy the solver is constructed (validating
     hyperparameters) but not fitted — its iterations run cooperatively in
     the reducer — so the worker only extracts the shard's claim structure.
+
+    When the task carries a ``span_context`` (or an enabled tracer is
+    ambient — the serial / threads backends), the fit runs under a
+    worker-isolated tracer: its ``shard.fit`` span and everything recorded
+    beneath it (chunked Gibbs sweeps) come back on
+    :attr:`~repro.parallel.merge.ShardFit.spans` as plain dicts for the
+    executor to graft into the caller's tree.
     """
+    ambient = obs.get_tracer()
+    if task.span_context is None and not ambient.enabled:
+        return _fit_shard_impl(task, registry)
+    collector = obs.InMemorySpanCollector()
+    tracer = obs.Tracer(collector, clock=ambient.clock)
+    with obs.use_tracer(tracer):
+        with tracer.span(
+            "shard.fit", shard=task.index, method=task.method, triples=len(task.triples)
+        ) as span:
+            fit = _fit_shard_impl(task, registry)
+            span.set(facts=fit.num_facts, sources=len(fit.source_names))
+    return dataclasses.replace(fit, spans=tuple(collector.spans))
+
+
+def _fit_shard_impl(task: ShardTask, registry: MethodRegistry | None) -> ShardFit:
     matrix = bulk_build_claim_matrix(list(task.triples))
     params = {key: _decode_param(value) for key, value in dict(task.params).items()}
     if task.seed is not None:
@@ -167,6 +198,7 @@ class RangeShardTask:
     strategy: str
     store_path: str
     entities: tuple[str, ...]
+    span_context: Mapping[str, Any] | None = None
 
 
 def fit_shard_range(task: RangeShardTask, registry: MethodRegistry | None = None) -> ShardFit:
@@ -193,6 +225,7 @@ def fit_shard_range(task: RangeShardTask, registry: MethodRegistry | None = None
             seed=task.seed,
             strategy=task.strategy,
             triples=triples,
+            span_context=task.span_context,
         ),
         registry=registry,
     )
@@ -317,6 +350,8 @@ class ParallelExecutor:
         seeds = self.shard_seeds(
             int(base_seed) if base_seed is not None else None, plan.num_shards
         )
+        tracer = obs.get_tracer()
+        context = tracer.current_context() if tracer.enabled else None
         tasks: list[ShardTask | RangeShardTask]
         if isinstance(plan, KeyShardPlan):
             tasks = [
@@ -329,6 +364,7 @@ class ParallelExecutor:
                     strategy=spec.shard_strategy,
                     store_path=plan.store_path,
                     entities=tuple(str(entity) for entity in shard.entities),
+                    span_context=context,
                 )
                 for shard in plan.non_empty()
             ]
@@ -342,19 +378,32 @@ class ParallelExecutor:
                     seed=seeds[shard.index],
                     strategy=spec.shard_strategy,
                     triples=tuple(triple.as_tuple() for triple in shard.triples),
+                    span_context=context,
                 )
                 for shard in plan.non_empty()
             ]
         if not tasks:
             raise ConfigurationError("cannot execute an empty shard plan (no triples)")
         fits = self._run(tasks, resolved)
-        return merge_shard_fits(
-            fits,
-            spec.shard_strategy,
-            params=params,
+        metrics = obs.engine_metrics()
+        for fit in fits:
+            metrics.shard_fit_seconds.observe(fit.runtime_seconds, backend=self.backend)
+            if fit.spans:
+                tracer.adopt(fit.spans, context=context)
+        with tracer.span(
+            "shard.merge",
+            strategy=spec.shard_strategy,
+            shards=len(fits),
+            backend=self.backend,
             quality_sync_rounds=quality_sync_rounds,
-            num_shards=plan.num_shards,
-        )
+        ):
+            return merge_shard_fits(
+                fits,
+                spec.shard_strategy,
+                params=params,
+                quality_sync_rounds=quality_sync_rounds,
+                num_shards=plan.num_shards,
+            )
 
     def _run(
         self, tasks: "list[ShardTask | RangeShardTask]", registry: MethodRegistry

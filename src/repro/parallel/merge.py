@@ -90,6 +90,11 @@ class ShardFit:
         The shard-local quality table, when the method learned one.
     runtime_seconds:
         Wall-clock time of the shard fit.
+    spans:
+        Finished telemetry span dicts recorded inside the worker (empty when
+        tracing is off).  Plain dicts so they cross process boundaries like
+        every other field; the executor grafts them into the caller's span
+        tree with :meth:`repro.obs.Tracer.adopt`.
     """
 
     index: int
@@ -104,6 +109,7 @@ class ShardFit:
     expected_counts: np.ndarray | None = None
     quality: SourceQualityTable | None = None
     runtime_seconds: float = 0.0
+    spans: tuple = ()
 
     @property
     def num_facts(self) -> int:

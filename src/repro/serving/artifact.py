@@ -53,6 +53,7 @@ from repro.core.base import SourceQualityTable
 from repro.core.priors import BetaPrior, LTMPriors
 from repro.engine.config import EngineConfig
 from repro.exceptions import ArtifactError, ArtifactVersionWarning
+from repro.obs import get_tracer
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -385,18 +386,24 @@ class TruthArtifact:
         :meth:`~repro.serving.service.TruthService.refresh` onto it.
         """
         target = Path(path)
-        payload = self.payload()
-        try:
-            target.mkdir(parents=True, exist_ok=True)
-            for file_name in sorted(payload, key=lambda name: name == MANIFEST_NAME):
-                temp = target / (file_name + ".tmp")
-                temp.write_bytes(payload[file_name])
-                temp.replace(target / file_name)
-        except OSError as exc:
-            raise ArtifactError(
-                f"cannot write artifact to {str(target)!r}: {exc}"
-            ) from exc
-        return target
+        with get_tracer().span(
+            "artifact.save",
+            path=str(target),
+            artifact=self.name,
+            facts=int(self.fact_score.shape[0]),
+        ):
+            payload = self.payload()
+            try:
+                target.mkdir(parents=True, exist_ok=True)
+                for file_name in sorted(payload, key=lambda name: name == MANIFEST_NAME):
+                    temp = target / (file_name + ".tmp")
+                    temp.write_bytes(payload[file_name])
+                    temp.replace(target / file_name)
+            except OSError as exc:
+                raise ArtifactError(
+                    f"cannot write artifact to {str(target)!r}: {exc}"
+                ) from exc
+            return target
 
     @classmethod
     def load(cls, path: str | Path) -> "TruthArtifact":
@@ -407,6 +414,16 @@ class TruthArtifact:
         failing) when the artifact was written by a different library
         version.
         """
+        with get_tracer().span("artifact.load", path=str(path)) as span:
+            artifact = cls._load(path)
+            span.set(
+                artifact=artifact.name, facts=int(artifact.fact_score.shape[0])
+            )
+            return artifact
+
+    @classmethod
+    def _load(cls, path: str | Path) -> "TruthArtifact":
+        """The :meth:`load` body, reporting into the ambient span."""
         target = Path(path)
         manifest_path = target / MANIFEST_NAME
         if not manifest_path.is_file():

@@ -41,6 +41,7 @@ multi-read-consistent views via :meth:`TruthService.snapshot`.
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 from pathlib import Path
 from typing import Any, Iterable, Sequence
@@ -53,6 +54,7 @@ from repro.core.priors import LTMPriors
 from repro.data.claim_builder import bulk_build_claim_matrix
 from repro.data.dataset import ClaimMatrix
 from repro.exceptions import ArtifactError, NotFittedError
+from repro.obs import engine_metrics, get_tracer
 from repro.serving.artifact import MANIFEST_NAME, TruthArtifact
 from repro.types import Triple
 
@@ -169,6 +171,9 @@ class TruthService:
             )
         self._cache_size = int(cache_size)
         self._snapshot = _Snapshot(artifact, self._cache_size)
+        self._generation = 1
+        self._published_at = time.time()
+        engine_metrics().snapshot_generation.set(self._generation)
 
     # -- snapshot management --------------------------------------------------------
     @property
@@ -195,10 +200,27 @@ class TruthService:
         fresh LRU cache — before the single reference assignment that
         publishes it, so queries racing a refresh see either the old or the
         new state in full, never a mixture.
+
+        Each refresh advances the ``repro_serving_snapshot_generation``
+        gauge and records how long the previous snapshot was live in
+        ``repro_serving_artifact_age_seconds`` (see :mod:`repro.obs`).
         """
-        if isinstance(artifact, (str, Path)):
-            artifact = TruthArtifact.load(artifact)
-        self._snapshot = _Snapshot(artifact, self._cache_size)
+        tracer = get_tracer()
+        with tracer.span("service.refresh") as span:
+            if isinstance(artifact, (str, Path)):
+                artifact = TruthArtifact.load(artifact)
+            self._snapshot = _Snapshot(artifact, self._cache_size)
+            self._generation += 1
+            now = time.time()
+            metrics = engine_metrics()
+            metrics.snapshot_generation.set(self._generation)
+            metrics.artifact_age_seconds.set(max(0.0, now - self._published_at))
+            self._published_at = now
+            span.set(
+                artifact=artifact.name,
+                facts=len(artifact.fact_score),
+                generation=self._generation,
+            )
         return self
 
     # -- point / batch lookups ------------------------------------------------------

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import StoreError
+from repro.obs import engine_metrics, get_tracer
 from repro.store.backend import DEFAULT_CHUNK_ROWS, SQLiteBackend, StorageBackend
 from repro.types import EntityKey, Triple
 
@@ -182,6 +183,9 @@ class ClaimStore:
             raise StoreError(f"claim store {self.path!r} is read-only")
         if batch_size <= 0:
             raise StoreError(f"batch_size must be positive, got {batch_size}")
+        tracer = get_tracer()
+        span_start = tracer.now()
+        started = time.perf_counter()
         generation = self.latest_generation() + 1
         next_seq = self._next_seq()
         now = time.time()
@@ -215,6 +219,18 @@ class ClaimStore:
             if buffer:
                 txn.executemany(insert_sql, buffer)
                 txn.executemany(entity_sql, entity_buffer)
+        metrics = engine_metrics()
+        metrics.store_rows.inc(appended, op="append")
+        metrics.store_op_seconds.observe(time.perf_counter() - started, op="append")
+        if tracer.enabled:
+            tracer.record(
+                "store.append",
+                span_start,
+                end=tracer.now(),
+                path=self.path,
+                rows=appended,
+                generation=generation,
+            )
         return appended
 
     def _next_seq(self) -> int:
@@ -322,6 +338,9 @@ class ClaimStore:
             raise StoreError("compact() needs keep_last and/or older_than")
         if keep_last is not None and keep_last < 1:
             raise StoreError(f"keep_last must be >= 1, got {keep_last}")
+        tracer = get_tracer()
+        span_start = tracer.now()
+        started = time.perf_counter()
         deleted = 0
         with self._backend.transaction() as txn:
             if keep_last is not None:
@@ -344,6 +363,13 @@ class ClaimStore:
             )
         if deleted:
             self._backend.execute("VACUUM").close()
+        metrics = engine_metrics()
+        metrics.store_rows.inc(deleted, op="deleted")
+        metrics.store_op_seconds.observe(time.perf_counter() - started, op="compact")
+        if tracer.enabled:
+            tracer.record(
+                "store.compact", span_start, end=tracer.now(), path=self.path, rows=deleted
+            )
         return deleted
 
     # -- lifecycle ---------------------------------------------------------------------

@@ -1,0 +1,401 @@
+"""Unit tests of the repro.obs telemetry package: tracing, metrics, rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ConfigurationError
+from repro.obs import (
+    InMemorySpanCollector,
+    JsonlSpanExporter,
+    NOOP_TRACER,
+    NoopTracer,
+    TelemetryConfig,
+    Tracer,
+)
+from repro.obs.metrics import (
+    EngineMetrics,
+    MetricsRegistry,
+    engine_metrics,
+    global_registry,
+    reset_global_registry,
+    set_global_registry,
+)
+from repro.obs.render import (
+    format_span_line,
+    format_span_summary,
+    format_span_tree,
+    load_spans,
+)
+
+
+class FakeClock:
+    """A hand-advanced wall clock for deterministic span timing tests."""
+
+    def __init__(self, now: float = 0.0, step: float = 0.0):
+        self.now = now
+        self.step = step
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        return current
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# ---------------------------------------------------------------------------
+# Tracer / spans
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_nested_spans_share_trace_and_link_parents(self):
+        clock = FakeClock()
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector, clock=clock)
+        with tracer.span("outer", kind="test"):
+            clock.advance(1.0)
+            with tracer.span("inner"):
+                clock.advance(0.5)
+        outer = collector.find("outer")[0]
+        inner = collector.find("inner")[0]
+        assert outer["trace_id"] == inner["trace_id"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert outer["duration_ms"] == pytest.approx(1500.0)
+        assert inner["duration_ms"] == pytest.approx(500.0)
+        assert outer["attributes"] == {"kind": "test"}
+
+    def test_children_close_before_parents(self):
+        clock = FakeClock()
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector, clock=clock)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span["name"] for span in collector.spans] == ["inner", "outer"]
+
+    def test_record_attaches_retroactive_child(self):
+        clock = FakeClock(now=10.0)
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector, clock=clock)
+        with tracer.span("outer"):
+            tracer.record("work", 10.0, end=10.25, rows=3)
+        work = collector.find("work")[0]
+        assert work["parent_id"] == collector.find("outer")[0]["span_id"]
+        assert work["duration_ms"] == pytest.approx(250.0)
+        assert work["attributes"] == {"rows": 3}
+
+    def test_span_set_is_chainable_and_merges(self):
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector, clock=FakeClock())
+        with tracer.span("s", a=1) as span:
+            assert span.set(b=2) is span
+        assert collector.spans[0]["attributes"] == {"a": 1, "b": 2}
+
+    def test_exception_marks_span_and_propagates(self):
+        collector = InMemorySpanCollector()
+        tracer = Tracer(collector, clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("bad"):
+                raise ValueError("boom")
+        span = collector.spans[0]
+        assert span["attributes"]["error"] == "ValueError"
+
+    def test_current_context_inside_and_outside(self):
+        tracer = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        assert tracer.current_context() is None
+        with tracer.span("outer"):
+            context = tracer.current_context()
+            assert set(context) == {"trace_id", "span_id"}
+
+    def test_adopt_reids_spans_and_preserves_structure(self):
+        # A worker-side tracer records an isolated tree...
+        worker = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        with worker.span("shard.fit"):
+            with worker.span("gibbs.iteration"):
+                pass
+        batch = list(worker.collector.spans)
+        # ...which the parent grafts under its own open span.
+        parent = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        with parent.span("fit"):
+            parent.adopt(batch)
+        spans = {span["name"]: span for span in parent.collector.spans}
+        fit = spans["fit"]
+        shard = spans["shard.fit"]
+        gibbs = spans["gibbs.iteration"]
+        assert shard["parent_id"] == fit["span_id"]
+        assert gibbs["parent_id"] == shard["span_id"]
+        assert shard["trace_id"] == fit["trace_id"]
+        # Re-identified: the adopted ids are fresh in the parent's id space.
+        assert shard["span_id"] != batch[-1]["span_id"] or fit["span_id"] != 1
+
+    def test_adopt_falls_back_to_serialized_context(self):
+        worker = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        with worker.span("shard.fit"):
+            pass
+        parent = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        with parent.span("fit"):
+            context = parent.current_context()
+        parent.adopt(worker.collector.spans, context=context)
+        adopted = parent.collector.find("shard.fit")[0]
+        assert adopted["parent_id"] == context["span_id"]
+        assert adopted["trace_id"] == context["trace_id"]
+
+    def test_noop_tracer_is_inert(self):
+        tracer = NoopTracer()
+        assert tracer.enabled is False
+        assert tracer.now() == 0.0
+        assert tracer.collector is None
+        with tracer.span("anything", key="value") as span:
+            span.set(more="attrs")
+        tracer.record("x", 0.0)
+        tracer.adopt([{"name": "x", "span_id": 1}])
+        tracer.close()
+        assert NOOP_TRACER.enabled is False
+
+
+class TestSinks:
+    def test_collector_find_len_clear(self):
+        tracer = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        collector = tracer.collector
+        assert len(collector) == 2
+        assert [span["name"] for span in collector.find("a")] == ["a"]
+        collector.clear()
+        assert len(collector) == 0
+
+    def test_jsonl_exporter_is_byte_stable_under_fake_clock(self, tmp_path):
+        def run(path):
+            tracer = Tracer(JsonlSpanExporter(str(path)), clock=FakeClock(step=0.125))
+            with tracer.span("fit", method="ltm"):
+                with tracer.span("gibbs.iteration", flips=3):
+                    pass
+            tracer.close()
+            return path.read_bytes()
+
+        first = run(tmp_path / "one.jsonl")
+        second = run(tmp_path / "two.jsonl")
+        assert first == second
+        lines = first.decode().strip().split("\n")
+        assert len(lines) == 2
+        for line in lines:
+            span = json.loads(line)
+            # Canonical JSON: keys sorted, compact separators.
+            assert list(span) == sorted(span)
+            assert ", " not in line
+
+    def test_callable_sink_receives_span_dicts(self):
+        seen = []
+        tracer = Tracer(seen.append, clock=FakeClock())
+        with tracer.span("x"):
+            pass
+        assert [span["name"] for span in seen] == ["x"]
+
+
+# ---------------------------------------------------------------------------
+# module-level wiring: get_tracer / use_tracer / configure / tracer_for
+# ---------------------------------------------------------------------------
+class TestGlobalWiring:
+    def test_default_is_noop(self):
+        assert obs.get_tracer() is NOOP_TRACER
+
+    def test_configure_installs_and_shutdown_restores(self):
+        tracer = obs.configure()
+        assert obs.get_tracer() is tracer
+        assert tracer.enabled
+        obs.shutdown()
+        assert obs.get_tracer() is NOOP_TRACER
+
+    def test_use_tracer_overrides_context_locally(self):
+        inner = Tracer(InMemorySpanCollector(), clock=FakeClock())
+        with obs.use_tracer(inner):
+            assert obs.get_tracer() is inner
+        assert obs.get_tracer() is NOOP_TRACER
+
+    def test_tracer_for_disabled_config_keeps_noop(self):
+        assert obs.tracer_for(TelemetryConfig()) is NOOP_TRACER
+        assert obs.tracer_for(None) is NOOP_TRACER
+
+    def test_tracer_for_enabled_config_installs_tracer(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = obs.tracer_for(TelemetryConfig(enabled=True, trace_path=str(path)))
+        assert tracer.enabled
+        assert obs.get_tracer() is tracer
+        with tracer.span("x"):
+            pass
+        obs.shutdown()
+        assert load_spans(str(path))[0]["name"] == "x"
+
+    def test_tracer_for_prefers_active_recording_tracer(self):
+        active = obs.configure()
+        assert obs.tracer_for(TelemetryConfig(enabled=True)) is active
+
+
+# ---------------------------------------------------------------------------
+# TelemetryConfig
+# ---------------------------------------------------------------------------
+class TestTelemetryConfig:
+    def test_defaults_disabled(self):
+        config = TelemetryConfig()
+        assert config.enabled is False
+        assert config.trace_path is None
+
+    def test_round_trip(self):
+        config = TelemetryConfig(enabled=True, trace_path="spans.jsonl")
+        assert TelemetryConfig.from_dict(config.to_dict()) == config
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="unknown TelemetryConfig keys"):
+            TelemetryConfig.from_dict({"enabled": True, "nope": 1})
+
+    def test_validates_types(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(enabled="yes")
+        with pytest.raises(ConfigurationError):
+            TelemetryConfig(trace_path=123)
+
+    def test_engine_config_coerces_mapping(self):
+        from repro.engine.config import EngineConfig
+
+        config = EngineConfig(telemetry={"enabled": True})
+        assert isinstance(config.telemetry, TelemetryConfig)
+        assert config.telemetry.enabled
+        assert config.to_dict()["telemetry"] == {"enabled": True, "trace_path": None}
+        with pytest.raises(ConfigurationError):
+            EngineConfig(telemetry="on")
+
+
+# ---------------------------------------------------------------------------
+# metrics: global registry + engine series
+# ---------------------------------------------------------------------------
+class TestGlobalMetrics:
+    def test_global_registry_set_and_reset(self):
+        original = global_registry()
+        replacement = MetricsRegistry()
+        previous = set_global_registry(replacement)
+        assert previous is original
+        assert global_registry() is replacement
+        fresh = reset_global_registry()
+        assert global_registry() is fresh
+        assert len(fresh) == 0
+
+    def test_engine_metrics_is_idempotent(self):
+        first = engine_metrics()
+        second = engine_metrics()
+        assert first.registry is second.registry is global_registry()
+        assert first.fit_seconds is second.fit_seconds
+        assert first.store_rows is second.store_rows
+
+    def test_engine_metrics_accepts_explicit_registry(self):
+        registry = MetricsRegistry()
+        metrics = EngineMetrics(registry)
+        metrics.fits_total.inc(method="ltm", mode="batch")
+        assert 'repro_engine_fits_total{method="ltm",mode="batch"} 1' in registry.render()
+        assert len(global_registry()) == 0
+
+    def test_histogram_sum_and_registry_names(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h_seconds", "help", (1.0, 2.0))
+        histogram.observe(0.5, op="x")
+        histogram.observe(1.5, op="x")
+        assert histogram.sum(op="x") == pytest.approx(2.0)
+        assert histogram.count(op="x") == 2
+        registry.counter("a_total", "help")
+        assert registry.names() == ["a_total", "h_seconds"]
+        assert len(registry) == 2
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+class TestRender:
+    def _spans(self):
+        return [
+            {
+                "trace_id": 1,
+                "span_id": 1,
+                "parent_id": None,
+                "name": "fit",
+                "start": 0.0,
+                "end": 0.004,
+                "duration_ms": 4.0,
+                "attributes": {"method": "ltm"},
+            },
+            {
+                "trace_id": 1,
+                "span_id": 2,
+                "parent_id": 1,
+                "name": "gibbs.iteration",
+                "start": 0.001,
+                "end": 0.002,
+                "duration_ms": 1.0,
+                "attributes": {"flips": 5},
+            },
+            {
+                "trace_id": 1,
+                "span_id": 3,
+                "parent_id": 1,
+                "name": "gibbs.iteration",
+                "start": 0.002,
+                "end": 0.003,
+                "duration_ms": 1.0,
+                "attributes": {},
+            },
+        ]
+
+    def test_format_span_line(self):
+        line = format_span_line(self._spans()[1])
+        assert line == "gibbs.iteration (1.0 ms) flips=5"
+
+    def test_format_span_tree_structure(self):
+        tree = format_span_tree(self._spans())
+        lines = tree.split("\n")
+        assert lines[0].startswith("fit (4.0 ms)")
+        assert lines[1].startswith("├── gibbs.iteration")
+        assert lines[2].startswith("└── gibbs.iteration")
+
+    def test_orphan_parent_becomes_root(self):
+        spans = self._spans()[1:]  # drop the root; parent_id=1 dangles
+        tree = format_span_tree(spans)
+        assert tree.split("\n")[0].startswith("gibbs.iteration")
+
+    def test_summary_has_aggregate_table(self):
+        summary = format_span_summary(self._spans())
+        assert "gibbs.iteration" in summary
+        assert "3 spans" in summary
+        assert "count" in summary and "total ms" in summary
+
+    def test_empty_inputs(self):
+        assert format_span_tree([]) == "(no spans)"
+        assert format_span_summary([]) == "(no spans)"
+
+    def test_load_spans_round_trip_and_errors(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(JsonlSpanExporter(str(path)), clock=FakeClock())
+        with tracer.span("fit"):
+            pass
+        tracer.close()
+        assert [span["name"] for span in load_spans(str(path))] == ["fit"]
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"name": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_spans(str(bad))
+        not_span = tmp_path / "notspan.jsonl"
+        not_span.write_text('{"foo": 1}\n')
+        with pytest.raises(ValueError, match="not a span record"):
+            load_spans(str(not_span))
