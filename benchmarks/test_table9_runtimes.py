@@ -5,6 +5,10 @@ nested subsets of the movie data.  The paper's findings to reproduce: every
 method scales roughly linearly with data size; Voting and LTMinc are the
 cheapest; LTM and 3-Estimates are the most expensive iterative methods but
 stay within a small constant factor of the rest.
+
+The paper's LTM corresponds to the scalar reference kernel; the blocked
+kernel (the library default) runs the identical chain several times faster,
+so the table carries both rows.
 """
 
 from conftest import LTM_ITERATIONS, SEED, write_result
@@ -42,7 +46,12 @@ def test_table9_method_runtimes(benchmark, movie_dataset, results_dir):
             "TruthFinder": lambda: TruthFinder(),
             "Investment": lambda: Investment(),
             "3-Estimates": lambda: ThreeEstimates(),
-            "LTM": lambda: LatentTruthModel(iterations=LTM_ITERATIONS, seed=SEED),
+            "LTM": lambda: LatentTruthModel(
+                iterations=LTM_ITERATIONS, seed=SEED, kernel="scalar"
+            ),
+            "LTM (blocked)": lambda: LatentTruthModel(
+                iterations=LTM_ITERATIONS, seed=SEED, kernel="blocked"
+            ),
         }
 
     def run_study():
@@ -63,10 +72,12 @@ def test_table9_method_runtimes(benchmark, movie_dataset, results_dir):
     cheapest_two = sorted(full, key=full.get)[:3]
     assert "Voting" in cheapest_two
     assert "LTMinc" in cheapest_two
-    # LTM is the most expensive method (the paper reports the same), but it
-    # stays practical — a full fit finishes within a minute at this scale.
+    # Scalar LTM is the most expensive method (the paper reports the same),
+    # but it stays practical — a full fit finishes within a minute at this
+    # scale — and the blocked kernel runs the identical chain strictly faster.
     assert full["LTM"] == max(full.values())
     assert full["LTM"] < 60.0
+    assert full["LTM (blocked)"] < full["LTM"]
     # Every iterative method grows with data size (roughly linear).
     for name, times in runtimes.items():
         if name in ("Voting", "LTMinc"):

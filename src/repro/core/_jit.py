@@ -1,0 +1,97 @@
+"""Optional numba acceleration of the blocked kernel's dense sweep.
+
+Installed via the ``[jit]`` extra (``pip install repro-ltm[jit]``).  When
+numba is missing — the default — everything here degrades silently: the
+blocked kernel falls back to its pure-python table walk, which computes the
+identical IEEE-754 sequence.  The compiled sweep mirrors
+:func:`repro.core.gibbs_vec._dense_walk` operation for operation (same table
+lookups, same left-to-right accumulation, same strict-``<`` threshold test),
+so enabling the JIT never changes sampled chains — only wall-clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+try:  # pragma: no cover - exercised only with the [jit] extra installed
+    import numba  # type: ignore
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the default environment
+    numba = None
+    HAVE_NUMBA = False
+
+_COMPILED: Any = None
+_FAILED = False
+
+
+def _build() -> Callable | None:  # pragma: no cover - requires numba
+    """Compile the dense sweep; any compilation problem disables the JIT."""
+
+    @numba.njit(cache=True)
+    def dense_sweep(
+        walk_ptr,  # (K+1,) claim-row boundaries per walk position
+        order,  # (K,) fact ids in block order
+        nb1, ci1, db1, ti1,  # per walk claim: index bases for truth == 1
+        nb0, ci0, db0, ti0,  # per walk claim: index bases for truth == 0
+        log_num, log_den,  # shared canonical tables
+        counts, totals, truth,  # mutable flat state (int64)
+        thresholds,  # (F,) per-fact flip thresholds
+        dlb0, dlb1,  # delta_log_beta per truth value
+    ):
+        flips = 0
+        for k in range(order.shape[0]):
+            fact = order[k]
+            current = truth[fact]
+            acc = 0.0
+            if current == 1:
+                for i in range(walk_ptr[k], walk_ptr[k + 1]):
+                    acc += (
+                        log_num[nb1[i] + counts[ci1[i]] - 1]
+                        - log_den[db1[i] + totals[ti1[i]] - 1]
+                    ) - (
+                        log_num[nb0[i] + counts[ci0[i]]]
+                        - log_den[db0[i] + totals[ti0[i]]]
+                    )
+                if acc + dlb1 < thresholds[fact]:
+                    for i in range(walk_ptr[k], walk_ptr[k + 1]):
+                        counts[ci1[i]] -= 1
+                        counts[ci0[i]] += 1
+                        totals[ti1[i]] -= 1
+                        totals[ti0[i]] += 1
+                    truth[fact] = 0
+                    flips += 1
+            else:
+                for i in range(walk_ptr[k], walk_ptr[k + 1]):
+                    acc += (
+                        log_num[nb0[i] + counts[ci0[i]] - 1]
+                        - log_den[db0[i] + totals[ti0[i]] - 1]
+                    ) - (
+                        log_num[nb1[i] + counts[ci1[i]]]
+                        - log_den[db1[i] + totals[ti1[i]]]
+                    )
+                if acc + dlb0 < thresholds[fact]:
+                    for i in range(walk_ptr[k], walk_ptr[k + 1]):
+                        counts[ci0[i]] -= 1
+                        counts[ci1[i]] += 1
+                        totals[ti0[i]] -= 1
+                        totals[ti1[i]] += 1
+                    truth[fact] = 1
+                    flips += 1
+        return flips
+
+    return dense_sweep
+
+
+def dense_sweep_compiled() -> Callable | None:
+    """The compiled dense sweep, or ``None`` when numba is unavailable."""
+    global _COMPILED, _FAILED
+    if not HAVE_NUMBA or _FAILED:
+        return None
+    if _COMPILED is None:  # pragma: no cover - requires numba
+        try:
+            _COMPILED = _build()
+        except Exception:
+            _FAILED = True
+            return None
+    return _COMPILED

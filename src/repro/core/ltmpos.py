@@ -33,6 +33,7 @@ class PositiveOnlyLTM(TruthMethod):
         burn_in: int | None = None,
         thin: int | None = None,
         seed: int | None = None,
+        kernel: str = "auto",
     ):
         super().__init__()
         self._priors = priors
@@ -40,6 +41,7 @@ class PositiveOnlyLTM(TruthMethod):
         self._burn_in = burn_in
         self._thin = thin
         self._seed = seed
+        self._kernel = kernel
 
     def _fit(self, claims: ClaimMatrix) -> TruthResult:
         positive = claims.positive_only()
@@ -54,6 +56,7 @@ class PositiveOnlyLTM(TruthMethod):
             burn_in=self._burn_in,
             thin=self._thin,
             seed=self._seed,
+            kernel=self._kernel,
         )
         result = model.fit(positive)
         return TruthResult(

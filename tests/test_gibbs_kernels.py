@@ -1,0 +1,386 @@
+"""Parity and schedule tests for the blocked Gibbs kernel.
+
+The contract under test is strong: for the same seed the blocked kernel of
+:mod:`repro.core.gibbs_vec` must be *bit-identical* to the scalar reference
+sweep — same scores, same final confusion counts, same per-sweep flip
+sequence, same checkpoint snapshots — on every catalog dataset.  Not
+statistically equivalent chains: the same chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.gibbs import KERNELS, CollapsedGibbsSampler, GibbsConfig, GibbsTrace
+from repro.core.gibbs_vec import BlockSchedule, KernelTables
+from repro.core.model import LatentTruthModel
+from repro.core.ltmpos import PositiveOnlyLTM
+from repro.core.priors import LTMPriors
+from repro.data.claim_builder import build_claim_matrix
+from repro.data.dataset import ClaimMatrix
+from repro.data.records import Fact
+from repro.engine import EngineConfig, ExecutionConfig, TruthEngine
+from repro.exceptions import ConfigurationError
+from repro.io.catalog import default_catalog
+from repro.types import Triple
+
+
+def _run_both(claims, budget: int, seed: int = 13, priors=None):
+    """Run scalar and blocked kernels on the paper schedule for ``budget``."""
+    priors = priors or LTMPriors.adaptive(claims)
+    results = {}
+    for kernel in ("scalar", "blocked"):
+        config = GibbsConfig.paper_schedule(budget, seed=seed, kernel=kernel)
+        sampler = CollapsedGibbsSampler(priors=priors, config=config)
+        results[kernel] = sampler.run(claims)
+    return results["scalar"], results["blocked"]
+
+
+def _assert_parity(scalar, blocked):
+    scores_s, counts_s, trace_s = scalar
+    scores_b, counts_b, trace_b = blocked
+    assert np.array_equal(scores_s, scores_b)
+    assert np.array_equal(counts_s.counts, counts_b.counts)
+    assert trace_s.flips_per_iteration == trace_b.flips_per_iteration
+    assert trace_s.kernel == "scalar"
+    assert trace_b.kernel == "blocked"
+
+
+# ---------------------------------------------------------------------------
+# Configuration surface
+# ---------------------------------------------------------------------------
+class TestKernelConfig:
+    def test_kernel_choices_exported(self):
+        assert KERNELS == ("scalar", "blocked", "auto")
+
+    def test_default_is_auto_and_resolves_to_blocked(self):
+        config = GibbsConfig()
+        assert config.kernel == "auto"
+        assert config.resolved_kernel() == "blocked"
+        assert GibbsConfig(kernel="scalar").resolved_kernel() == "scalar"
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            GibbsConfig(kernel="simd")
+
+    def test_paper_schedule_threads_kernel(self):
+        config = GibbsConfig.paper_schedule(50, seed=3, kernel="blocked")
+        assert config.kernel == "blocked"
+        assert (config.iterations, config.burn_in, config.thin) == (50, 10, 2)
+
+    def test_trace_defaults(self):
+        trace = GibbsTrace()
+        assert trace.kernel == "scalar"
+        assert trace.block_count == 0
+
+    def test_auto_run_reports_blocked(self, paper_claims):
+        sampler = CollapsedGibbsSampler(config=GibbsConfig(iterations=10, burn_in=2, thin=1, seed=0))
+        _, _, trace = sampler.run(paper_claims)
+        assert trace.kernel == "blocked"
+        assert trace.block_count == BlockSchedule.build(paper_claims).num_blocks
+
+
+# ---------------------------------------------------------------------------
+# Exact parity on every catalog dataset
+# ---------------------------------------------------------------------------
+class TestCatalogParity:
+    # Budgets follow the paper schedule; larger corpora get shorter chains to
+    # keep the suite fast — the arithmetic exercised per sweep is identical.
+    @pytest.mark.parametrize(
+        "key, budget",
+        [
+            ("paper_example", 100),
+            ("books_small", 100),
+            ("movies_small", 100),
+            ("books", 50),
+            ("movies", 20),
+            ("adversarial", 20),
+            ("ltm_generative", 7),
+        ],
+    )
+    def test_blocked_matches_scalar(self, key, budget):
+        claims = default_catalog().create(key).to_dataset().claims
+        scalar, blocked = _run_both(claims, budget)
+        _assert_parity(scalar, blocked)
+        assert blocked[2].block_count >= 1
+
+    @pytest.mark.parametrize("budget", [7, 10, 20, 50, 100, 200])
+    def test_paper_schedule_budgets(self, paper_claims, budget):
+        scalar, blocked = _run_both(paper_claims, budget, seed=budget)
+        _assert_parity(scalar, blocked)
+
+    def test_checkpoints_and_callback_parity(self, small_movie_dataset):
+        claims = small_movie_dataset.claims
+        priors = LTMPriors.adaptive(claims)
+        snapshots = {}
+
+        def run(kernel):
+            seen = []
+            config = GibbsConfig(iterations=30, burn_in=5, thin=2, seed=11, kernel=kernel)
+            sampler = CollapsedGibbsSampler(priors=priors, config=config)
+            out = sampler.run(claims, checkpoints=(5, 20), callback=lambda i, t: seen.append(t.copy()))
+            snapshots[kernel] = seen
+            return out
+
+        scalar, blocked = run("scalar"), run("blocked")
+        _assert_parity(scalar, blocked)
+        for key in (5, 20):
+            assert np.array_equal(
+                scalar[2].checkpoint_scores[key], blocked[2].checkpoint_scores[key]
+            )
+        assert len(snapshots["scalar"]) == len(snapshots["blocked"]) == 30
+        for a, b in zip(snapshots["scalar"], snapshots["blocked"]):
+            assert np.array_equal(a, b)
+
+    def test_initial_truth_parity(self, paper_claims):
+        initial = np.ones(paper_claims.num_facts, dtype=np.int64)
+        outs = []
+        for kernel in ("scalar", "blocked"):
+            config = GibbsConfig(iterations=20, burn_in=4, thin=1, seed=5, kernel=kernel)
+            outs.append(CollapsedGibbsSampler(config=config).run(paper_claims, initial_truth=initial))
+        _assert_parity(*outs)
+
+
+# ---------------------------------------------------------------------------
+# Degenerate block schedules
+# ---------------------------------------------------------------------------
+class TestBlockSchedule:
+    def test_single_source_corpus_is_one_block_per_fact(self):
+        # Every fact claims through the same source, so no two facts are
+        # conflict-free: the schedule degenerates to one block per fact and
+        # the kernel to a pure sequential sweep — which must still be exact.
+        triples = [Triple(f"e{i}", f"v{i}", "lone") for i in range(12)]
+        claims = build_claim_matrix(triples)
+        schedule = BlockSchedule.build(claims)
+        assert schedule.num_blocks == claims.num_facts
+        assert all(len(block) == 1 for block in schedule.blocks())
+        scalar, blocked = _run_both(claims, 50, seed=2)
+        _assert_parity(scalar, blocked)
+        assert blocked[2].block_count == claims.num_facts
+
+    def test_disjoint_sources_is_single_block(self):
+        triples = [Triple(f"e{i}", f"v{i}", f"s{i}") for i in range(8)]
+        claims = build_claim_matrix(triples)
+        schedule = BlockSchedule.build(claims)
+        assert schedule.num_blocks == 1
+        assert len(schedule.blocks()[0]) == claims.num_facts
+
+    def test_claimless_facts_excluded_from_schedule(self):
+        facts = [Fact(0, "e1", "a"), Fact(1, "e2", "b"), Fact(2, "e3", "c")]
+        claims = ClaimMatrix(
+            facts=facts,
+            source_names=["s"],
+            claim_fact=[0, 2],
+            claim_source=[0, 0],
+            claim_obs=[True, False],
+        )
+        schedule = BlockSchedule.build(claims)
+        covered = np.concatenate(schedule.blocks())
+        assert sorted(covered.tolist()) == [0, 2]
+        assert schedule.fact_masks[1] == 0
+        scalar, blocked = _run_both(claims, 100, seed=9, priors=LTMPriors.paper_book_defaults())
+        _assert_parity(scalar, blocked)
+        # The claimless fact's score reflects the truth prior, not 0/1 collapse.
+        assert 0.0 < scalar[0][1] < 1.0
+
+    def test_all_facts_claimless(self):
+        facts = [Fact(0, "e1", "a"), Fact(1, "e2", "b")]
+        claims = ClaimMatrix(
+            facts=facts, source_names=["s"], claim_fact=[], claim_source=[], claim_obs=[]
+        )
+        schedule = BlockSchedule.build(claims)
+        assert schedule.num_blocks == 0
+        scalar, blocked = _run_both(claims, 20, seed=1, priors=LTMPriors.paper_book_defaults())
+        _assert_parity(scalar, blocked)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_colourings_are_conflict_free_and_order_preserving(self, seed):
+        # Property test: on random corpora every colouring must (a) cover each
+        # claimed fact exactly once, (b) contain no intra-block source
+        # conflict, and (c) keep conflicting facts in index order across
+        # blocks — the invariant that makes block order equal scalar order.
+        rng = np.random.default_rng(seed)
+        num_entities = int(rng.integers(5, 40))
+        num_sources = int(rng.integers(1, 12))
+        triples = []
+        for e in range(num_entities):
+            degree = min(num_sources, int(rng.integers(1, 5)))
+            for s in rng.choice(num_sources, size=degree, replace=False):
+                triples.append(Triple(f"e{e}", f"v{rng.integers(0, 3)}", f"s{s}"))
+        claims = build_claim_matrix(triples)
+        schedule = BlockSchedule.build(claims)
+
+        claimed = [f for f in range(claims.num_facts) if schedule.fact_masks[f]]
+        covered = [f for block in schedule.blocks() for f in block.tolist()]
+        assert sorted(covered) == claimed  # (a) exactly-once cover
+
+        colour_of = {}
+        for b, block in enumerate(schedule.blocks()):
+            union = 0
+            for f in block.tolist():
+                mask = schedule.fact_masks[f]
+                assert not (union & mask)  # (b) conflict-free within the block
+                union |= mask
+                colour_of[f] = b
+        for i, f in enumerate(claimed):
+            for g in claimed[i + 1 :]:
+                if schedule.fact_masks[f] & schedule.fact_masks[g]:
+                    assert colour_of[f] < colour_of[g]  # (c) order-preserving
+
+        scalar, blocked = _run_both(claims, 20, seed=seed + 100)
+        _assert_parity(scalar, blocked)
+
+
+# ---------------------------------------------------------------------------
+# Kernel tables
+# ---------------------------------------------------------------------------
+class TestKernelTables:
+    def test_threshold_rule_matches_sigmoid_rule(self):
+        # "u < 1 / (1 + exp(delta))" and "delta < log((1 - u) / u)" are the
+        # same decision; the tables evaluate the latter so each sweep costs
+        # one whole-array log instead of a per-fact exp.
+        rng = np.random.default_rng(0)
+        uniforms = rng.random(1000)
+        deltas = rng.normal(scale=30.0, size=1000)
+        thresholds = KernelTables.switch_thresholds(uniforms)
+        old_rule = uniforms < 1.0 / (1.0 + np.exp(deltas))
+        new_rule = deltas < thresholds
+        assert np.array_equal(old_rule, new_rule)
+
+    def test_zero_uniform_always_flips(self):
+        thresholds = KernelTables.switch_thresholds(np.array([0.0, 0.5]))
+        assert thresholds[0] == np.inf
+        assert thresholds[1] == pytest.approx(0.0)
+
+    def test_table_entries_are_log_counts_plus_alpha(self, paper_claims):
+        priors = LTMPriors.adaptive(paper_claims)
+        tables = KernelTables(paper_claims, priors)
+        alpha = priors.alpha_array(paper_claims.source_names)
+        # Source 0's (t=0, o=0) sub-table starts at offset 0: entry m must be
+        # log(m + alpha[0, 0, 0]).
+        d0 = int(paper_claims.claim_counts_per_source()[0])
+        expected = np.log(np.arange(d0 + 1) + alpha[0, 0, 0])
+        assert np.array_equal(tables.log_num[: d0 + 1], expected)
+        assert tables.delta_log_beta[0] == -tables.delta_log_beta[1]
+
+
+# ---------------------------------------------------------------------------
+# Model / engine / CLI integration
+# ---------------------------------------------------------------------------
+class TestKernelIntegration:
+    def test_latent_truth_model_kernel_parity(self, small_book_dataset):
+        claims = small_book_dataset.claims
+        results = {
+            kernel: LatentTruthModel(iterations=30, seed=4, kernel=kernel).fit(claims)
+            for kernel in ("scalar", "blocked")
+        }
+        assert np.array_equal(results["scalar"].scores, results["blocked"].scores)
+        assert results["blocked"].extras["trace"].kernel == "blocked"
+        assert results["blocked"].extras["trace"].block_count >= 1
+
+    def test_positive_only_ltm_forwards_kernel(self, paper_claims):
+        results = {
+            kernel: PositiveOnlyLTM(iterations=30, seed=4, kernel=kernel).fit(paper_claims)
+            for kernel in ("scalar", "blocked")
+        }
+        assert np.array_equal(results["scalar"].scores, results["blocked"].scores)
+
+    def test_engine_params_reach_sampler_and_artifact(self, tmp_path):
+        engine = TruthEngine(
+            method="ltm", params={"iterations": 25, "seed": 11, "kernel": "blocked"}
+        ).fit("paper_example")
+        assert engine.last_trace.kernel == "blocked"
+        reference = TruthEngine(
+            method="ltm", params={"iterations": 25, "seed": 11, "kernel": "scalar"}
+        ).fit("paper_example")
+        assert np.array_equal(engine.result().scores, reference.result().scores)
+        # The kernel choice survives the artifact round-trip.
+        path = engine.save(tmp_path / "artifact")
+        loaded = TruthEngine.load(path)
+        assert loaded.config.params["kernel"] == "blocked"
+
+    def test_sharded_execution_kernel_parity(self):
+        def sharded(kernel):
+            engine = TruthEngine(
+                EngineConfig(
+                    method="ltm",
+                    params={"iterations": 20, "seed": 6, "kernel": kernel},
+                    execution=ExecutionConfig(num_shards=3, backend="serial"),
+                )
+            )
+            return engine.fit("movies_small")
+
+        scalar, blocked = sharded("scalar"), sharded("blocked")
+        scores = scalar.fact_scores
+        assert all(
+            scores[key] == value for key, value in blocked.fact_scores.items()
+        )
+
+    def test_fit_span_reports_kernel(self):
+        obs.reset()
+        try:
+            tracer = obs.configure()
+            TruthEngine(method="ltm", iterations=20, seed=7, params={"kernel": "blocked"}).fit(
+                "paper_example"
+            )
+            fit = [s for s in tracer.collector.spans if s["name"] == "fit"][0]
+            assert fit["attributes"]["kernel"] == "blocked"
+            assert fit["attributes"]["block_count"] >= 1
+        finally:
+            obs.reset()
+
+    def test_cli_kernel_artifacts_byte_identical(self, tmp_path, capsys):
+        # The CI smoke in miniature: export paper_example under both kernels
+        # and require byte-identical artifact scores.
+        from repro.cli import main
+
+        for kernel in ("scalar", "blocked"):
+            code = main(
+                [
+                    "export",
+                    "paper_example",
+                    str(tmp_path / kernel),
+                    "--iterations",
+                    "30",
+                    "--seed",
+                    "7",
+                    "--kernel",
+                    kernel,
+                ]
+            )
+            assert code == 0
+        capsys.readouterr()
+        arrays = {
+            kernel: np.load(tmp_path / kernel / "arrays.npz") for kernel in ("scalar", "blocked")
+        }
+        scalar_scores = arrays["scalar"]["fact_score"]
+        blocked_scores = arrays["blocked"]["fact_score"]
+        assert scalar_scores.tobytes() == blocked_scores.tobytes()
+
+    def test_obs_summary_prints_kernel(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "integrate",
+                    "--source",
+                    "paper_example",
+                    "--iterations",
+                    "20",
+                    "--kernel",
+                    "blocked",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "kernel=blocked" in out
+        assert "block_count=" in out
